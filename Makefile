@@ -1,0 +1,39 @@
+# Developer entry points. Everything is stdlib Go; no external deps.
+
+GO ?= go
+
+.PHONY: all build test race bench results full-results fuzz examples vet
+
+all: vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/livenet/ ./internal/udpnet/
+
+# One pass over every figure/table as Go benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+# Regenerate every figure/table at quick scale into results_quick.txt.
+results:
+	$(GO) run ./cmd/onepipe-bench -all | tee results_quick.txt
+
+# The paper's full sweeps (up to 512 processes; takes a while).
+full-results:
+	$(GO) run ./cmd/onepipe-bench -all -full | tee results_full.txt
+
+fuzz:
+	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzTSOrdering -fuzztime 15s
+
+examples:
+	@for ex in quickstart bank kvstore replication snapshot lockmanager; do \
+		echo "=== examples/$$ex ==="; $(GO) run ./examples/$$ex || exit 1; done

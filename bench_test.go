@@ -1,0 +1,103 @@
+package onepipe
+
+import (
+	"strconv"
+	"testing"
+
+	"onepipe/internal/experiments"
+	"onepipe/internal/sim"
+)
+
+// benchScale keeps each figure regeneration small enough for `go test
+// -bench=.` while preserving the sweep shapes; use cmd/onepipe-bench
+// [-full] for the paper-scale axes.
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		Name:     "bench",
+		MaxProcs: 16,
+		Window:   150 * sim.Microsecond,
+		Warmup:   80 * sim.Microsecond,
+		Seeds:    1,
+	}
+}
+
+// benchFigure regenerates one figure per iteration and reports its row
+// count (so a silently-empty table fails loudly).
+func benchFigure(b *testing.B, id string) {
+	r, ok := experiments.Find(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	sc := benchScale()
+	var rows int
+	for i := 0; i < b.N; i++ {
+		tbl := r.Run(sc)
+		rows = len(tbl.Rows)
+		if rows == 0 {
+			b.Fatalf("experiment %s produced no rows", id)
+		}
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// One benchmark per table/figure of the paper's evaluation (§7).
+
+func BenchmarkFig8a(b *testing.B)  { benchFigure(b, "8a") }
+func BenchmarkFig8b(b *testing.B)  { benchFigure(b, "8b") }
+func BenchmarkFig9a(b *testing.B)  { benchFigure(b, "9a") }
+func BenchmarkFig9b(b *testing.B)  { benchFigure(b, "9b") }
+func BenchmarkFig10(b *testing.B)  { benchFigure(b, "10") }
+func BenchmarkFig11(b *testing.B)  { benchFigure(b, "11") }
+func BenchmarkFig12a(b *testing.B) { benchFigure(b, "12a") }
+func BenchmarkFig12b(b *testing.B) { benchFigure(b, "12b") }
+func BenchmarkFig13a(b *testing.B) { benchFigure(b, "13a") }
+func BenchmarkFig13b(b *testing.B) { benchFigure(b, "13b") }
+func BenchmarkFig14a(b *testing.B) { benchFigure(b, "14a") }
+func BenchmarkFig14b(b *testing.B) { benchFigure(b, "14b") }
+func BenchmarkFig14c(b *testing.B) { benchFigure(b, "14c") }
+func BenchmarkFig15a(b *testing.B) { benchFigure(b, "15a") }
+func BenchmarkFig15b(b *testing.B) { benchFigure(b, "15b") }
+func BenchmarkFig16(b *testing.B)  { benchFigure(b, "16") }
+func BenchmarkCeph(b *testing.B)   { benchFigure(b, "ceph") }
+func BenchmarkOutOfOrder(b *testing.B) {
+	benchFigure(b, "ooo")
+}
+
+// Ablation benches for the design choices DESIGN.md calls out.
+
+func BenchmarkHazards(b *testing.B)    { benchFigure(b, "haz") }
+func BenchmarkAblBarrier(b *testing.B) { benchFigure(b, "abl-barrier") }
+func BenchmarkAblRelay(b *testing.B)   { benchFigure(b, "abl-relay") }
+func BenchmarkAblECMP(b *testing.B)    { benchFigure(b, "abl-ecmp") }
+func BenchmarkAblBeacon(b *testing.B)  { benchFigure(b, "abl-beacon") }
+func BenchmarkProjection(b *testing.B) { benchFigure(b, "proj") }
+
+// BenchmarkMessageRate measures raw simulated 1Pipe message throughput —
+// how many end-to-end ordered deliveries per wall-clock second the
+// simulator sustains (a harness-speed number, not a paper figure).
+func BenchmarkMessageRate(b *testing.B) {
+	for _, procs := range []int{8, 32} {
+		b.Run(strconv.Itoa(procs), func(b *testing.B) {
+			delivered := 0
+			for i := 0; i < b.N; i++ {
+				cl := NewCluster(Config{
+					Topology:     Testbed(),
+					ProcsPerHost: (procs + 31) / 32,
+					Seed:         int64(i + 1),
+				})
+				for p := 0; p < procs; p++ {
+					cl.Process(p).OnDeliver(func(Delivery) { delivered++ })
+				}
+				for p := 0; p < procs; p++ {
+					p := p
+					for k := 0; k < 50; k++ {
+						dst := ProcID((p + k + 1) % procs)
+						cl.Process(p).UnreliableSend([]Message{{Dst: dst, Size: 64}})
+					}
+				}
+				cl.Run(500 * Microsecond)
+			}
+			b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
+		})
+	}
+}

@@ -1,0 +1,63 @@
+// Command onepipe-bench regenerates the tables and figures of the 1Pipe
+// paper's evaluation section on the simulated data center.
+//
+// Usage:
+//
+//	onepipe-bench -list
+//	onepipe-bench -fig 8a [-full]
+//	onepipe-bench -all [-full]
+//
+// -full runs the paper's complete sweeps (up to 512 processes; minutes of
+// wall time); the default quick scale preserves every figure's shape with
+// smaller axes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"onepipe/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment id to run (see -list)")
+	all := flag.Bool("all", false, "run every experiment")
+	list := flag.Bool("list", false, "list experiments")
+	full := flag.Bool("full", false, "paper-scale sweeps (slow)")
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-5s %s\n", r.ID, r.Title)
+		}
+		return
+	}
+	sc := experiments.Quick()
+	if *full {
+		sc = experiments.Full()
+	}
+	run := func(r experiments.Runner) {
+		start := time.Now()
+		tbl := r.Run(sc)
+		tbl.Notes = append(tbl.Notes, fmt.Sprintf("scale=%s, wall time %.1fs", sc.Name, time.Since(start).Seconds()))
+		tbl.Print(os.Stdout)
+	}
+	switch {
+	case *all:
+		for _, r := range experiments.Registry() {
+			run(r)
+		}
+	case *fig != "":
+		r, ok := experiments.Find(*fig)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *fig)
+			os.Exit(1)
+		}
+		run(r)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

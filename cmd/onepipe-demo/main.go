@@ -1,0 +1,150 @@
+// Command onepipe-demo runs 1Pipe live: the same lib1pipe state machines
+// as the simulator, but in real time — either on the in-process channel
+// fabric (internal/livenet) or, with -udp, over actual UDP sockets on
+// loopback with the 48-bit wire format (internal/udpnet). Several
+// goroutines scatter concurrently; the demo then verifies that all
+// receivers delivered the common messages in one consistent total order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sync"
+	"time"
+
+	"onepipe/internal/core"
+	"onepipe/internal/livenet"
+	"onepipe/internal/netsim"
+	"onepipe/internal/udpnet"
+)
+
+// fabric abstracts the two live substrates.
+type fabric interface {
+	NumProcs() int
+	OnDeliver(p int, fn func(core.Delivery))
+	Send(p int, msgs []core.Message) error
+	Stop()
+}
+
+type liveFabric struct{ n *livenet.Net }
+
+func (f liveFabric) NumProcs() int { return f.n.NumProcs() }
+func (f liveFabric) OnDeliver(p int, fn func(core.Delivery)) {
+	f.n.Do(func() { f.n.Proc(p).OnDeliver = fn })
+}
+func (f liveFabric) Send(p int, msgs []core.Message) error { return f.n.Send(p, false, msgs) }
+func (f liveFabric) Stop()                                 { f.n.Stop() }
+
+type udpFabric struct{ c *udpnet.Cluster }
+
+func (f udpFabric) NumProcs() int                           { return f.c.NumProcs() }
+func (f udpFabric) OnDeliver(p int, fn func(core.Delivery)) { f.c.Proc(p).OnDeliver(fn) }
+func (f udpFabric) Send(p int, msgs []core.Message) error   { return f.c.Proc(p).Send(msgs) }
+func (f udpFabric) Stop()                                   { f.c.Close() }
+
+func main() {
+	useUDP := flag.Bool("udp", false, "run over real UDP sockets (loopback) instead of in-process channels")
+	flag.Parse()
+
+	const hosts = 4
+	var net fabric
+	if *useUDP {
+		c, err := udpnet.Start(udpnet.DefaultConfig(hosts, 1))
+		if err != nil {
+			panic(err)
+		}
+		net = udpFabric{c: c}
+		fmt.Printf("UDP 1Pipe fabric: %d host sockets + 1 switch socket on loopback, %v beacons\n\n", hosts, time.Millisecond)
+	} else {
+		net = liveFabric{n: livenet.New(livenet.DefaultConfig(hosts, 1))}
+		fmt.Printf("live 1Pipe fabric: %d hosts, beacons every %v of wall time\n\n", hosts, time.Millisecond)
+	}
+	defer net.Stop()
+	n := net.NumProcs()
+
+	type rec struct {
+		ts   int64
+		src  netsim.ProcID
+		data any
+	}
+	var mu sync.Mutex
+	logs := make([][]rec, n)
+	for i := 0; i < n; i++ {
+		i := i
+		net.OnDeliver(i, func(d core.Delivery) {
+			data := d.Data
+			if b, ok := data.([]byte); ok {
+				data = string(b)
+			}
+			mu.Lock()
+			logs[i] = append(logs[i], rec{int64(d.TS), d.Src, data})
+			mu.Unlock()
+		})
+	}
+
+	// Concurrent broadcasters on real goroutines.
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		p := p
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				var msgs []core.Message
+				for q := 0; q < n; q++ {
+					if q != p {
+						msgs = append(msgs, core.Message{
+							Dst: netsim.ProcID(q), Data: []byte(fmt.Sprintf("p%d/m%d", p, k)), Size: 64,
+						})
+					}
+				}
+				net.Send(p, msgs)
+				time.Sleep(3 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	time.Sleep(300 * time.Millisecond) // let the last barriers propagate
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < 2; i++ {
+		fmt.Printf("first deliveries at process %d:\n", i)
+		for j, r := range logs[i] {
+			if j == 6 {
+				break
+			}
+			fmt.Printf("  ts=%-16d from=%d %v\n", r.ts, r.src, r.data)
+		}
+	}
+
+	// Verify the pairwise total-order property on common messages.
+	key := func(r rec) string { return fmt.Sprint(r.ts, "/", r.src, "/", r.data) }
+	violations := 0
+	for a := 0; a < n; a++ {
+		pos := make(map[string]int, len(logs[a]))
+		for idx, r := range logs[a] {
+			pos[key(r)] = idx
+		}
+		for b := a + 1; b < n; b++ {
+			lastPos := -1
+			for _, r := range logs[b] {
+				if p, ok := pos[key(r)]; ok {
+					if p < lastPos {
+						violations++
+					}
+					lastPos = p
+				}
+			}
+		}
+	}
+	total := 0
+	for i := range logs {
+		total += len(logs[i])
+	}
+	fmt.Printf("\n%d messages delivered across %d receivers; pairwise order violations: %d\n",
+		total, n, violations)
+	if violations == 0 {
+		fmt.Println("all receivers observed one consistent total order over real wall-clock time ✓")
+	}
+}

@@ -1,0 +1,3 @@
+module onepipe
+
+go 1.22

@@ -1,0 +1,121 @@
+package clock
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"onepipe/internal/sim"
+	"onepipe/internal/stats"
+)
+
+func TestPerfectClockTracksSimTime(t *testing.T) {
+	eng := sim.NewEngine(1)
+	c := New(eng, eng.Rand(), Perfect())
+	for _, at := range []sim.Time{0, 100, 5000, 1e9} {
+		eng.RunUntil(at)
+		if got := c.Now(); got != at {
+			t.Fatalf("perfect clock at %v reads %v", at, got)
+		}
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	eng := sim.NewEngine(2)
+	c := New(eng, eng.Rand(), DefaultConfig())
+	last := sim.Time(-1)
+	for i := 0; i < 10000; i++ {
+		eng.RunFor(sim.Time(eng.Rand().Intn(100000)))
+		now := c.Now()
+		if now < last {
+			t.Fatalf("clock went backwards: %v -> %v", last, now)
+		}
+		last = now
+	}
+}
+
+func TestClockMonotonicAcrossResync(t *testing.T) {
+	// Force large offsets so resyncs would step backwards without the clamp.
+	eng := sim.NewEngine(3)
+	cfg := Config{SyncInterval: 1 * sim.Millisecond, MaxOffset: 100 * sim.Microsecond}
+	c := New(eng, eng.Rand(), cfg)
+	last := sim.Time(-1)
+	for i := 0; i < 5000; i++ {
+		eng.RunFor(100 * sim.Microsecond)
+		now := c.Now()
+		if now < last {
+			t.Fatalf("clock went backwards across resync: %v -> %v", last, now)
+		}
+		last = now
+	}
+}
+
+func TestSkewBounded(t *testing.T) {
+	eng := sim.NewEngine(4)
+	cfg := DefaultConfig()
+	var sample stats.Sample
+	clocks := make([]*Clock, 32)
+	for i := range clocks {
+		clocks[i] = New(eng, eng.Rand(), cfg)
+	}
+	for i := 0; i < 200; i++ {
+		eng.RunFor(10 * sim.Millisecond)
+		for _, c := range clocks {
+			sk := float64(c.Skew())
+			if sk < 0 {
+				sk = -sk
+			}
+			sample.Add(sk / 1000) // us
+		}
+	}
+	// Offset uniform ±0.6us plus sub-us drift: mean |skew| should be near
+	// 0.3us and never beyond ~1.5us.
+	if m := sample.Mean(); m < 0.1 || m > 0.6 {
+		t.Fatalf("mean |skew| = %.3f us, want ~0.3", m)
+	}
+	if mx := sample.Max(); mx > 1.5 {
+		t.Fatalf("max |skew| = %.3f us, too large", mx)
+	}
+}
+
+func TestDriftAccumulatesBetweenSyncs(t *testing.T) {
+	eng := sim.NewEngine(5)
+	cfg := Config{SyncInterval: sim.Second, MaxOffset: 0, MaxDriftPPM: 100}
+	c := New(eng, eng.Rand(), cfg)
+	eng.RunUntil(sim.Second / 2)
+	sk := c.Skew()
+	if sk == 0 {
+		t.Fatal("expected nonzero drift accumulation")
+	}
+	// 100 ppm over 0.5s is at most 50us.
+	if sk > 50*sim.Microsecond || sk < -50*sim.Microsecond {
+		t.Fatalf("skew %v exceeds drift bound", sk)
+	}
+}
+
+// Property: reads are monotonic for any sequence of time advances and any
+// clock configuration.
+func TestMonotonicProperty(t *testing.T) {
+	f := func(seed int64, steps []uint16, maxOffUs, syncMs uint8) bool {
+		eng := sim.NewEngine(seed)
+		cfg := Config{
+			SyncInterval: sim.Time(syncMs%50+1) * sim.Millisecond,
+			MaxOffset:    sim.Time(maxOffUs) * sim.Microsecond,
+			MaxDriftPPM:  float64(maxOffUs % 10),
+		}
+		c := New(eng, rand.New(rand.NewSource(seed)), cfg)
+		last := sim.Time(-1)
+		for _, s := range steps {
+			eng.RunFor(sim.Time(s) * sim.Microsecond)
+			now := c.Now()
+			if now < last {
+				return false
+			}
+			last = now
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,381 @@
+// Package controller implements 1Pipe's highly available network
+// controller (§5.2): it detects component failures from switch reports,
+// determines which processes failed and when (the failure timestamp),
+// records the decision in a Raft-replicated store, broadcasts it to every
+// correct process (Discard / Recall / Callback), and finally resumes
+// commit-plane barrier propagation once all completions arrive.
+package controller
+
+import (
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/raft"
+	"onepipe/internal/sim"
+	"onepipe/internal/stats"
+	"onepipe/internal/topology"
+)
+
+// Config tunes the controller deployment.
+type Config struct {
+	// Replicas is the Raft group size backing the controller store.
+	Replicas int
+	// MgmtDelay is the one-way management-network latency between the
+	// controller and any host or switch.
+	MgmtDelay sim.Time
+	// PerHostCost is the controller's serialization cost per contacted
+	// host during Broadcast (§7.2: recovery grows 3-15us per host at
+	// scale because the controller must reach every process).
+	PerHostCost sim.Time
+	// AggregationWindow batches near-simultaneous dead-link reports (a
+	// ToR failure produces one report per spine) into one failure event.
+	AggregationWindow sim.Time
+}
+
+// DefaultConfig returns deployment defaults: a 3-replica store on a
+// management network with 10 us one-way latency.
+func DefaultConfig() Config {
+	return Config{
+		Replicas:          3,
+		MgmtDelay:         10 * sim.Microsecond,
+		PerHostCost:       3 * sim.Microsecond,
+		AggregationWindow: 10 * sim.Microsecond,
+	}
+}
+
+// FailureRecord is the replicated decision for one failure event.
+type FailureRecord struct {
+	// Procs maps each failed process to its failure timestamp.
+	Procs map[netsim.ProcID]sim.Time
+	// DetectedAt is when the first report arrived.
+	DetectedAt sim.Time
+}
+
+// RecallRecord is a durably recorded undeliverable recall, consulted by
+// recovering receivers.
+type RecallRecord struct {
+	Src, Dst netsim.ProcID
+	TS       sim.Time
+}
+
+// Controller coordinates failure handling for one simulated cluster.
+type Controller struct {
+	Cfg  Config
+	net  *netsim.Network
+	cl   *core.Cluster
+	Raft *raft.Cluster
+
+	// Replicated state (applied from the Raft log on the leader).
+	Failures []FailureRecord
+	Recalls  []RecallRecord
+
+	// In-flight detection state.
+	reports    []report
+	windowOpen bool
+	busy       bool
+
+	// RecoveryTime samples barrier-stall durations (detect -> resume) for
+	// the Fig. 10 experiment.
+	RecoveryTime stats.Sample
+	// ForwardedMsgs counts messages relayed by Controller Forwarding.
+	ForwardedMsgs uint64
+	// OnRecovered fires after each completed failure-handling round.
+	OnRecovered func(rec FailureRecord)
+}
+
+type report struct {
+	link       topology.Link
+	lastCommit sim.Time
+	at         sim.Time
+}
+
+// New deploys the controller over a cluster: it hooks the network's
+// dead-link reports, the hosts' stuck-message escalation, and builds the
+// Raft store on the same engine.
+func New(net *netsim.Network, cl *core.Cluster, cfg Config) *Controller {
+	c := &Controller{Cfg: cfg, net: net, cl: cl}
+	c.Raft = buildRaft(net, c, cfg)
+	net.OnLinkDead = func(l topology.Link, lastCommit sim.Time) {
+		// Switch -> controller report over the management network.
+		at := net.Eng.Now()
+		net.Eng.After(cfg.MgmtDelay, func() { c.onReport(report{link: l, lastCommit: lastCommit, at: at}) })
+	}
+	for _, h := range cl.Hosts {
+		h := h
+		h.OnStuck = func(src, dst netsim.ProcID, ts sim.Time) { c.onStuck(h, src, dst, ts) }
+	}
+	return c
+}
+
+// buildRaft constructs the replicated store backing a controller: every
+// replica applies the committed log; the controller reads replica 0's
+// materialized state.
+func buildRaft(net *netsim.Network, c *Controller, cfg Config) *raft.Cluster {
+	return raft.NewCluster(net.Eng, cfg.Replicas, raft.DefaultConfig(), func(node, index int, cmd any) {
+		if node != 0 {
+			return // single logical view: apply on replica 0's state
+		}
+		switch rec := cmd.(type) {
+		case FailureRecord:
+			c.Failures = append(c.Failures, rec)
+		case RecallRecord:
+			c.Recalls = append(c.Recalls, rec)
+		}
+	})
+}
+
+// onReport accumulates dead-link reports and opens an aggregation window
+// so one physical failure is handled as one event (Detect step).
+func (c *Controller) onReport(r report) {
+	c.reports = append(c.reports, r)
+	if c.windowOpen {
+		return
+	}
+	c.windowOpen = true
+	c.net.Eng.After(c.Cfg.AggregationWindow, c.determine)
+}
+
+// determine computes the failed process set and failure timestamps
+// (Determine step): a process is failed iff its host is disconnected from
+// the routing graph; the failure timestamp is the maximum last-commit
+// barrier reported by the failed component's neighbors.
+func (c *Controller) determine() {
+	c.windowOpen = false
+	if c.busy {
+		// A handling round is in flight; re-arm to pick these reports up
+		// afterwards.
+		c.net.Eng.After(c.Cfg.AggregationWindow, c.determine)
+		c.windowOpen = true
+		return
+	}
+	reports := c.reports
+	c.reports = nil
+	if len(reports) == 0 {
+		return
+	}
+	detectedAt := reports[0].at
+	g := c.net.G
+
+	// Failure timestamp per physical component: max over its neighbors'
+	// reports (Appendix: gathered from a cut separating the failed node
+	// from all receivers).
+	maxCommitFrom := make(map[topology.NodeID]sim.Time)
+	for _, r := range reports {
+		if r.lastCommit > maxCommitFrom[r.link.From] {
+			maxCommitFrom[r.link.From] = r.lastCommit
+		}
+		if r.at < detectedAt {
+			detectedAt = r.at
+		}
+	}
+
+	failed := make(map[netsim.ProcID]sim.Time)
+	for hi := 0; hi < len(g.Hosts); hi++ {
+		host := g.Host(hi)
+		if c.hostConnected(host) {
+			continue
+		}
+		// Failure timestamp: the latest commit any neighbor saw from this
+		// host — or, when the host died with its ToR, the ToR's reported
+		// aggregate.
+		fts := sim.Time(0)
+		if v, ok := maxCommitFrom[host]; ok {
+			fts = v
+		} else {
+			for _, r := range reports {
+				if r.lastCommit > fts {
+					fts = r.lastCommit
+				}
+			}
+		}
+		for p := 0; p < c.net.NumProcs(); p++ {
+			if c.net.HostOfProc(netsim.ProcID(p)) == hi {
+				failed[netsim.ProcID(p)] = fts
+			}
+		}
+	}
+
+	rec := FailureRecord{Procs: failed, DetectedAt: detectedAt}
+	c.busy = true
+	c.replicate(rec, func() { c.broadcast(rec) })
+}
+
+// hostConnected reports whether a host still has a live path into the
+// fabric (single-homed hosts fail with their uplink or ToR).
+func (c *Controller) hostConnected(host topology.NodeID) bool {
+	g := c.net.G
+	if g.NodeDead(host) {
+		return false
+	}
+	for _, lid := range g.Out[host] {
+		if !g.LinkDead(lid) && !g.NodeDead(g.Link(lid).To) {
+			return true
+		}
+	}
+	return false
+}
+
+const retryDelay = 1 * sim.Millisecond
+
+// replicate commits the record through the Raft store before acting on it
+// (the controller must not broadcast a decision it could forget). Failure
+// records are idempotent at hosts, so a leadership change mid-commit is
+// handled by re-proposing.
+func (c *Controller) replicate(rec FailureRecord, then func()) {
+	leader := c.Raft.Leader()
+	if leader == nil {
+		// Controller replicas electing: retry; the barrier stays stalled,
+		// which is safe.
+		c.net.Eng.After(retryDelay, func() { c.replicate(rec, then) })
+		return
+	}
+	idx, _, ok := leader.Propose(rec)
+	if !ok {
+		c.net.Eng.After(retryDelay, func() { c.replicate(rec, then) })
+		return
+	}
+	var poll func()
+	poll = func() {
+		if leader.CommitIndex() >= idx {
+			then()
+			return
+		}
+		if leader.Stopped() || leader.Role() != raft.Leader {
+			c.replicate(rec, then)
+			return
+		}
+		c.net.Eng.After(20*sim.Microsecond, poll)
+	}
+	poll()
+}
+
+// broadcast sends the failure record to every correct host and collects
+// completions (Broadcast / Discard / Recall / Callback steps), then
+// resumes the commit plane.
+func (c *Controller) broadcast(rec FailureRecord) {
+	eng := c.net.Eng
+	failedHosts := make(map[int]bool)
+	for p := range rec.Procs {
+		failedHosts[c.net.HostOfProc(p)] = true
+	}
+	waiting := 0
+	var resume func()
+	done := func() {
+		// Host -> controller completion, one management hop back.
+		eng.After(c.Cfg.MgmtDelay, func() {
+			waiting--
+			if waiting == 0 {
+				resume()
+			}
+		})
+	}
+	resume = func() {
+		// Resume step: unblock commit-plane aggregation everywhere.
+		for _, lid := range c.net.CommitGatedLinks() {
+			c.net.ResumeCommitPlane(lid)
+		}
+		c.RecoveryTime.Add(float64(eng.Now()-rec.DetectedAt) / float64(sim.Microsecond))
+		c.busy = false
+		if c.OnRecovered != nil {
+			c.OnRecovered(rec)
+		}
+	}
+	if len(rec.Procs) == 0 {
+		// Pure fabric failure (core link/switch): no process failed; no
+		// host involvement needed (§7.2: "only the controller needs to
+		// be involved").
+		waiting = 1
+		eng.After(c.Cfg.MgmtDelay, func() { done() })
+		return
+	}
+	i := 0
+	for hi, h := range c.cl.Hosts {
+		if failedHosts[hi] {
+			continue
+		}
+		waiting++
+		h := h
+		// The controller serializes its broadcast: each additional host
+		// costs PerHostCost of controller CPU/NIC time.
+		eng.After(c.Cfg.MgmtDelay+sim.Time(i)*c.Cfg.PerHostCost, func() { h.ApplyFailure(rec.Procs, done) })
+		i++
+	}
+	if waiting == 0 {
+		resume()
+	}
+}
+
+// onStuck handles a sender that exhausted retransmissions toward dst
+// (§5.2 Controller Forwarding): if dst is still connected — a network
+// partition between the pair — the controller relays the pending messages
+// itself and acknowledges the sender on the receiver's behalf. If dst is
+// truly unreachable, the undeliverable recall is recorded durably and the
+// sender released.
+func (c *Controller) onStuck(h *core.Host, src, dst netsim.ProcID, ts sim.Time) {
+	eng := c.net.Eng
+	eng.After(c.Cfg.MgmtDelay, func() {
+		dstHost := c.net.G.Host(c.net.HostOfProc(dst))
+		if c.hostConnected(dstHost) {
+			c.forward(h, src, dst)
+			return
+		}
+		rec := RecallRecord{Src: src, Dst: dst, TS: ts}
+		leader := c.Raft.Leader()
+		if leader != nil {
+			leader.Propose(rec)
+		}
+		eng.After(c.Cfg.MgmtDelay, func() { h.ResolveRecall(dst, ts) })
+	})
+}
+
+// forward relays every pending reliable packet from src to dst over the
+// management network and returns the ACKs to the sender — "S asks
+// controller to forward the message to R, and waits for ACK from the
+// controller". Note the paper's partition caveat applies: a receiver cut
+// off from part of the fabric no longer aggregates the missing senders'
+// barriers, so deliveries during a partition are only locally ordered.
+func (c *Controller) forward(h *core.Host, src, dst netsim.ProcID) {
+	eng := c.net.Eng
+	pkts := h.PendingTo(src, dst)
+	if len(pkts) == 0 {
+		return
+	}
+	dstHost := c.cl.Hosts[c.net.HostOfProc(dst)]
+	for _, pkt := range pkts {
+		pkt := pkt
+		c.ForwardedMsgs++
+		eng.After(c.Cfg.MgmtDelay, func() {
+			dstHost.HandlePacket(pkt)
+			// Acknowledge on the receiver's behalf: the receiver's own
+			// ACK would die on the partitioned path.
+			ack := &netsim.Packet{
+				Kind: netsim.KindAck, Src: pkt.Dst, Dst: pkt.Src,
+				PSN: pkt.PSN, MsgTS: pkt.MsgTS, Reliable: pkt.Reliable,
+				Size: netsim.BeaconBytes,
+			}
+			eng.After(c.Cfg.MgmtDelay, func() { h.HandlePacket(ack) })
+		})
+	}
+}
+
+// RecoverHost replays all recorded failures and undeliverable recalls to a
+// recovered host so it delivers or discards its buffered messages
+// consistently with the rest of the cluster (Receiver Recovery, §5.2).
+func (c *Controller) RecoverHost(hi int) {
+	h := c.cl.Hosts[hi]
+	for _, rec := range c.Failures {
+		own := make(map[netsim.ProcID]sim.Time)
+		for p, ts := range rec.Procs {
+			if c.net.HostOfProc(p) != hi {
+				own[p] = ts
+			}
+		}
+		if len(own) > 0 {
+			h.ApplyFailure(own, func() {})
+		}
+	}
+	for _, rr := range c.Recalls {
+		if c.net.HostOfProc(rr.Dst) == hi {
+			h.ApplyRecallTombstone(rr.Src, rr.TS)
+		}
+	}
+}

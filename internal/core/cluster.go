@@ -1,0 +1,74 @@
+package core
+
+import (
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// simWire adapts one simulated host's network attachment to the Wire
+// interface.
+type simWire struct {
+	n    *netsim.Network
+	host int
+}
+
+func (w simWire) Send(pkt *netsim.Packet)     { w.n.SendFromHost(w.host, pkt) }
+func (w simWire) Now() sim.Time               { return w.n.Clocks[w.host].Now() }
+func (w simWire) After(d sim.Time, fn func()) { w.n.Eng.After(d, fn) }
+
+// Cluster is a fully deployed 1Pipe fabric on the network simulator: one
+// lib1pipe Host per simulated machine and one Proc per process.
+type Cluster struct {
+	Net   *netsim.Network
+	Hosts []*Host
+	Procs []*Proc
+}
+
+// Deploy attaches a lib1pipe runtime to every host of the simulated
+// network and registers every process. The endpoint configuration is
+// derived from the network's incarnation mode (data packets carry valid
+// barriers only with the programmable chip) and beacon interval.
+func Deploy(n *netsim.Network, cfg Config) *Cluster {
+	cfg = cfg.withDefaults()
+	cfg.UseDataBarriers = n.Cfg.Mode == netsim.ModeChip
+	cfg.BeaconInterval = n.Cfg.BeaconInterval
+	cl := &Cluster{Net: n}
+	for hi := 0; hi < len(n.G.Hosts); hi++ {
+		h := NewHost(hi, simWire{n: n, host: hi}, cfg)
+		n.AttachHost(hi, h.HandlePacket)
+		h.Start()
+		cl.Hosts = append(cl.Hosts, h)
+	}
+	for p := 0; p < n.NumProcs(); p++ {
+		proc := cl.Hosts[n.HostOfProc(netsim.ProcID(p))].AddProc(netsim.ProcID(p))
+		cl.Procs = append(cl.Procs, proc)
+	}
+	return cl
+}
+
+// Proc returns process p's endpoint.
+func (cl *Cluster) Proc(p int) *Proc { return cl.Procs[p] }
+
+// Run advances the simulation by d.
+func (cl *Cluster) Run(d sim.Time) { cl.Net.Eng.RunFor(d) }
+
+// TotalStats sums the per-host statistics.
+func (cl *Cluster) TotalStats() HostStats {
+	var t HostStats
+	for _, h := range cl.Hosts {
+		t.MsgsSent += h.Stats.MsgsSent
+		t.MsgsDelivered += h.Stats.MsgsDelivered
+		t.MsgsFailed += h.Stats.MsgsFailed
+		t.PktsSent += h.Stats.PktsSent
+		t.PktsRetx += h.Stats.PktsRetx
+		t.Naks += h.Stats.Naks
+		t.DupPkts += h.Stats.DupPkts
+		t.Commits += h.Stats.Commits
+		t.Beacons += h.Stats.Beacons
+		t.Recalled += h.Stats.Recalled
+		if h.Stats.MaxBufferBytes > t.MaxBufferBytes {
+			t.MaxBufferBytes = h.Stats.MaxBufferBytes
+		}
+	}
+	return t
+}

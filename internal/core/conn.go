@@ -1,0 +1,521 @@
+package core
+
+import (
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"sort"
+)
+
+type connKey struct {
+	src, dst netsim.ProcID
+}
+
+// cls maps a reliability class to its PSN-space index: best-effort and
+// reliable traffic use independent sequence spaces so a lost (never
+// retransmitted) best-effort packet cannot wedge reliable reassembly.
+func cls(reliable bool) int {
+	if reliable {
+		return 1
+	}
+	return 0
+}
+
+// outPkt is an in-flight packet awaiting its end-to-end ACK.
+type outPkt struct {
+	psn      uint32
+	msgIdx   int // index into the scattering's message list
+	frag     int // fragment index within the message
+	endOfMsg bool
+	size     int
+	scat     *scattering
+	retx     int
+}
+
+// conn is the send-side state for one (source process, destination process)
+// pair: PSN spaces, in-flight accounting, DCTCP congestion control and the
+// retransmission timer of reliable 1Pipe.
+type conn struct {
+	key     connKey
+	host    *Host
+	nextPSN [2]uint32
+	unacked [2]map[uint32]*outPkt
+	// sendQ holds launched-but-untransmitted fragments: a scattering
+	// larger than the window streams out as ACKs free space.
+	sendQ []*outPkt
+	// inflight + reserved are charged against min(cwnd, rwnd).
+	inflight int
+	reserved int
+	rwnd     int
+	// DCTCP state (§6.1: "Congestion control follows DCTCP").
+	cwnd      float64
+	alpha     float64
+	ackTotal  int
+	ackECN    int
+	windowEnd [2]uint32
+	rto       *timer
+}
+
+func (h *Host) getConn(src, dst netsim.ProcID) *conn {
+	k := connKey{src, dst}
+	c := h.conns[k]
+	if c == nil {
+		c = &conn{
+			key:  k,
+			host: h,
+			rwnd: h.Cfg.RecvWindow,
+			cwnd: h.Cfg.InitCwnd,
+		}
+		c.unacked[0] = make(map[uint32]*outPkt)
+		c.unacked[1] = make(map[uint32]*outPkt)
+		c.rto = newTimer(h.wire, c.onRTO)
+		h.conns[k] = c
+	}
+	return c
+}
+
+// window is the send window: min(receive window, congestion window).
+func (c *conn) window() int {
+	w := int(c.cwnd)
+	if c.rwnd < w {
+		w = c.rwnd
+	}
+	return w
+}
+
+func (c *conn) available() int {
+	a := c.window() - c.inflight - c.reserved
+	if a < 0 {
+		return 0
+	}
+	return a
+}
+
+// onAck processes one end-to-end ACK.
+func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
+	k := cls(reliable)
+	op, ok := c.unacked[k][psn]
+	if !ok {
+		return // duplicate ACK
+	}
+	delete(c.unacked[k], psn)
+	c.inflight--
+	c.dctcpAck(k, psn, ecn)
+	if len(c.unacked[1]) == 0 {
+		c.rto.stop()
+	}
+	c.host.onPacketAcked(op)
+	c.pump()
+	c.host.grantCredits()
+}
+
+// pump transmits queued fragments while window space is available.
+func (c *conn) pump() {
+	for c.inflight < c.window() && len(c.sendQ) > 0 {
+		op := c.sendQ[0]
+		c.sendQ = c.sendQ[1:]
+		if op.scat.aborted {
+			continue
+		}
+		k := cls(op.scat.reliable)
+		c.unacked[k][op.psn] = op
+		c.inflight++
+		c.host.emit(c.buildPacket(op, op.psn))
+		if op.scat.reliable && !c.rto.armed {
+			c.rto.reset(c.host.Cfg.RTO)
+		}
+	}
+}
+
+// dctcpAck runs the DCTCP window update: additive increase per ACK, and a
+// multiplicative decrease by alpha/2 once per window where alpha is the
+// EWMA of the ECN-marked fraction.
+func (c *conn) dctcpAck(k int, psn uint32, ecn bool) {
+	c.ackTotal++
+	if ecn {
+		c.ackECN++
+	}
+	if psn >= c.windowEnd[k] {
+		frac := float64(c.ackECN) / float64(c.ackTotal)
+		g := c.host.Cfg.DCTCPGain
+		c.alpha = (1-g)*c.alpha + g*frac
+		if c.ackECN > 0 {
+			c.cwnd = c.cwnd * (1 - c.alpha/2)
+			if c.cwnd < 1 {
+				c.cwnd = 1
+			}
+		}
+		c.ackTotal, c.ackECN = 0, 0
+		c.windowEnd[0] = c.nextPSN[0]
+		c.windowEnd[1] = c.nextPSN[1]
+	}
+	if c.cwnd < c.host.Cfg.MaxCwnd {
+		c.cwnd += 1 / c.cwnd
+	}
+}
+
+// onRTO retransmits every unACKed reliable packet (§5.1 Prepare phase loss
+// recovery) in PSN order. Best-effort packets are never retransmitted;
+// they expire via the send-failure timeout instead.
+func (c *conn) onRTO() {
+	h := c.host
+	if h.stopped {
+		return
+	}
+	psns := make([]uint32, 0, len(c.unacked[1]))
+	for psn := range c.unacked[1] {
+		psns = append(psns, psn)
+	}
+	sort.Slice(psns, func(i, j int) bool { return psns[i] < psns[j] })
+	rearm := false
+	for _, psn := range psns {
+		op := c.unacked[1][psn]
+		op.retx++
+		if h.Cfg.MaxRetx > 0 && op.retx > h.Cfg.MaxRetx {
+			if h.OnStuck != nil {
+				h.OnStuck(c.key.src, c.key.dst, op.scat.ts)
+			}
+			continue
+		}
+		h.Stats.PktsRetx++
+		h.emit(c.buildPacket(op, psn))
+		rearm = true
+	}
+	if rearm {
+		c.rto.reset(h.Cfg.RTO * sim.Time(1+min(4, c.minRetx())))
+	}
+}
+
+func (c *conn) minRetx() int {
+	m := 1 << 30
+	for _, op := range c.unacked[1] {
+		if op.retx < m {
+			m = op.retx
+		}
+	}
+	if m == 1<<30 {
+		return 0
+	}
+	return m
+}
+
+// buildPacket materializes the wire packet for an in-flight entry; used for
+// both first transmission and retransmission (barrier fields are stamped at
+// emit time).
+func (c *conn) buildPacket(op *outPkt, psn uint32) *netsim.Packet {
+	s := op.scat
+	m := &s.msgs[op.msgIdx]
+	var payload any
+	if op.endOfMsg {
+		payload = m.Data
+	}
+	return &netsim.Packet{
+		Kind:     netsim.KindData,
+		Src:      c.key.src,
+		Dst:      c.key.dst,
+		MsgTS:    s.ts,
+		Reliable: s.reliable,
+		PSN:      psn,
+		FragIdx:  uint16(op.frag),
+		EndOfMsg: op.endOfMsg,
+		Size:     op.size + netsim.HeaderBytes,
+		Payload:  payload,
+	}
+}
+
+// dropInflight abandons an un-ACKed packet (destination failed, scattering
+// aborted, or best-effort timeout), freeing its window slot.
+func (c *conn) dropInflight(k int, psn uint32) {
+	if _, ok := c.unacked[k][psn]; !ok {
+		return
+	}
+	delete(c.unacked[k], psn)
+	c.inflight--
+	if len(c.unacked[1]) == 0 {
+		c.rto.stop()
+	}
+}
+
+// dropScattering abandons all of s's un-ACKed packets on this conn (its
+// queued fragments are skipped by the pump via s.aborted) and refills the
+// freed window from the send queue.
+func (c *conn) dropScattering(s *scattering) {
+	for k := 0; k < 2; k++ {
+		for psn, op := range c.unacked[k] {
+			if op.scat == s {
+				c.dropInflight(k, psn)
+			}
+		}
+	}
+	c.pump()
+}
+
+// scattering is a group of messages sharing one timestamp (§2.1).
+type scattering struct {
+	owner    *Proc
+	reliable bool
+	msgs     []Message
+	ts       sim.Time
+	launched bool
+	aborted  bool
+	done     bool
+
+	// fragsPerMsg[i] is the packet count of msgs[i].
+	fragsPerMsg []int
+	totalPkts   int
+	// Credit reservation state, per destination connection, in first-use
+	// order (ordered for deterministic partial-credit acquisition).
+	credits []credit
+	// ACK tracking.
+	unackedPkts int
+	// failTimer drives best-effort loss detection.
+	failTimer *timer
+	// ackedMsg[i] counts ACKed packets of msgs[i] (for per-message
+	// send-failure reporting).
+	ackedMsg []int
+	// recallsPending counts outstanding recall ACKs during abort.
+	recallsPending int
+}
+
+// credit tracks one connection's share of a scattering's window demand.
+type credit struct {
+	conn     *conn
+	needed   int
+	reserved int
+}
+
+func newScattering(p *Proc, msgs []Message, reliable bool, mtu int) *scattering {
+	s := &scattering{
+		owner:       p,
+		reliable:    reliable,
+		msgs:        msgs,
+		fragsPerMsg: make([]int, len(msgs)),
+		ackedMsg:    make([]int, len(msgs)),
+	}
+	idx := make(map[*conn]int)
+	for i := range msgs {
+		size := msgs[i].Size
+		if size <= 0 {
+			size = 64
+		}
+		frags := (size + mtu - 1) / mtu
+		s.fragsPerMsg[i] = frags
+		s.totalPkts += frags
+		c := p.host.getConn(p.ID, msgs[i].Dst)
+		j, ok := idx[c]
+		if !ok {
+			j = len(s.credits)
+			idx[c] = j
+			s.credits = append(s.credits, credit{conn: c})
+		}
+		s.credits[j].needed += frags
+	}
+	s.unackedPkts = s.totalPkts
+	return s
+}
+
+// needEff is the launch requirement on one connection: the full demand,
+// capped at the window — a message larger than the window can never hold
+// more credits than the window, so it launches once it owns a whole
+// window's worth and streams the rest via the send queue.
+func (cr *credit) needEff() int {
+	w := cr.conn.window()
+	if w < 1 {
+		w = 1
+	}
+	if cr.needed < w {
+		return cr.needed
+	}
+	return w
+}
+
+func (s *scattering) fullyReserved() bool {
+	for i := range s.credits {
+		if s.credits[i].reserved < s.credits[i].needEff() {
+			return false
+		}
+	}
+	return true
+}
+
+// tryAcquire reserves as many window credits as available for s, holding
+// partial reservations (the paper's anti-livelock rule: a large scattering
+// keeps its credits while waiting, §6.1).
+func (h *Host) tryAcquire(s *scattering) {
+	for i := range s.credits {
+		cr := &s.credits[i]
+		missing := cr.needEff() - cr.reserved
+		if missing <= 0 {
+			continue
+		}
+		take := cr.conn.available()
+		if take > missing {
+			take = missing
+		}
+		if take > 0 {
+			cr.conn.reserved += take
+			cr.reserved += take
+		}
+	}
+}
+
+// grantCredits re-scans the wait queue in FIFO order after window space was
+// freed, launching scatterings that became fully reserved.
+func (h *Host) grantCredits() {
+	if len(h.waitQ) == 0 {
+		return
+	}
+	remaining := h.waitQ[:0]
+	for _, s := range h.waitQ {
+		if s.aborted {
+			h.releaseReservations(s)
+			continue
+		}
+		h.tryAcquire(s)
+		if s.fullyReserved() {
+			h.launch(s)
+		} else {
+			remaining = append(remaining, s)
+		}
+	}
+	h.waitQ = remaining
+}
+
+func (h *Host) releaseReservations(s *scattering) {
+	for i := range s.credits {
+		s.credits[i].conn.reserved -= s.credits[i].reserved
+		s.credits[i].reserved = 0
+	}
+}
+
+// launch stamps the scattering with the egress timestamp and transmits all
+// fragments of all messages (§6.1: the timestamp is attached when the
+// scattering leaves the send buffer, so the host clock remains a valid
+// barrier floor).
+func (h *Host) launch(s *scattering) {
+	s.ts = h.nextTS()
+	s.launched = true
+	h.releaseReservations(s)
+	if s.reliable {
+		// Joining the outstanding list MUST precede any emission: the
+		// packets below carry the commit floor, and this scattering is
+		// uncommitted until all its ACKs arrive.
+		h.outstanding = append(h.outstanding, s)
+	}
+	k := cls(s.reliable)
+	mtu := h.Cfg.MTU
+	for i := range s.msgs {
+		m := &s.msgs[i]
+		c := h.getConn(s.owner.ID, m.Dst)
+		size := m.Size
+		if size <= 0 {
+			size = 64
+		}
+		for f := 0; f < s.fragsPerMsg[i]; f++ {
+			fragSize := mtu
+			if f == s.fragsPerMsg[i]-1 {
+				fragSize = size - f*mtu
+			}
+			psn := c.nextPSN[k]
+			c.nextPSN[k]++
+			op := &outPkt{
+				psn: psn, msgIdx: i, frag: f,
+				endOfMsg: f == s.fragsPerMsg[i]-1,
+				size:     fragSize, scat: s,
+			}
+			track := s.reliable || !h.Cfg.DisableBEAck
+			if track {
+				// Queue; the pump transmits within the window, streaming
+				// oversized scatterings as ACKs return.
+				c.sendQ = append(c.sendQ, op)
+			} else {
+				s.unackedPkts-- // fire-and-forget
+				h.emit(c.buildPacket(op, psn))
+			}
+		}
+		h.Stats.MsgsSent++
+	}
+	for i := range s.credits {
+		s.credits[i].conn.pump() // ordered: deterministic emission
+	}
+	if !s.reliable && !h.Cfg.DisableBEAck {
+		s.failTimer = newTimer(h.wire, func() { h.beSendTimeout(s) })
+		s.failTimer.reset(h.Cfg.SendFailTimeout)
+	}
+}
+
+// onPacketAcked updates scattering completion state after an ACK.
+func (h *Host) onPacketAcked(op *outPkt) {
+	s := op.scat
+	s.unackedPkts--
+	s.ackedMsg[op.msgIdx]++
+	if s.unackedPkts > 0 || s.done || s.aborted {
+		return
+	}
+	s.done = true
+	if s.reliable {
+		h.reapOutstanding()
+	} else if s.failTimer != nil {
+		s.failTimer.stop()
+	}
+}
+
+// reapOutstanding pops completed scatterings off the head of the
+// outstanding list and advertises the advanced commit floor with an
+// explicit commit message to the neighbor switch (§5.1 Commit phase).
+// Every host emission already carries the floor, so under load the
+// explicit commit packet is elided: the next data packet or beacon
+// propagates the advance within a fraction of the beacon interval.
+func (h *Host) reapOutstanding() {
+	advanced := false
+	for len(h.outstanding) > 0 && h.outstanding[0].done {
+		h.outstanding = h.outstanding[1:]
+		advanced = true
+	}
+	if !advanced {
+		return
+	}
+	if h.wire.Now()-h.lastUplinkSend < h.Cfg.BeaconInterval/4 {
+		return // a very recent emission (or an imminent one) carries it
+	}
+	h.sendCommit()
+}
+
+func (h *Host) sendCommit() {
+	h.Stats.Commits++
+	h.emit(&netsim.Packet{Kind: netsim.KindCommit, Src: h.reprProc, Size: netsim.BeaconBytes})
+}
+
+// beSendTimeout fires the best-effort loss-detection timer: every message
+// with un-ACKed packets is reported failed (§2.1: detection without
+// retransmission).
+func (h *Host) beSendTimeout(s *scattering) {
+	if h.stopped || s.done || s.aborted {
+		return
+	}
+	s.aborted = true
+	for i := range s.msgs {
+		if s.ackedMsg[i] < s.fragsPerMsg[i] {
+			h.failMessage(s, i)
+		}
+	}
+	// Free the window slots of the lost packets.
+	for i := range s.credits {
+		s.credits[i].conn.dropScattering(s)
+	}
+	h.grantCredits()
+}
+
+func (h *Host) failMessage(s *scattering, msgIdx int) {
+	h.Stats.MsgsFailed++
+	m := &s.msgs[msgIdx]
+	if s.owner.OnSendFail != nil {
+		s.owner.OnSendFail(SendFailure{TS: s.ts, Dst: m.Dst, Data: m.Data})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+func TestDCTCPReducesWindowUnderECN(t *testing.T) {
+	// Saturate one receiver from two senders with a low ECN threshold;
+	// the senders' congestion windows must come down from InitCwnd.
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 4, SpinesPerPod: 1, Cores: 1}, 1)
+	cfg.ECNThreshold = 1 * sim.Microsecond
+	cl := Deploy(netsim.New(cfg), DefaultConfig())
+	cl.Procs[3].OnDeliver = func(Delivery) {}
+	eng := cl.Net.Eng
+	for _, src := range []int{0, 1} {
+		src := src
+		sim.NewTicker(eng, 300*sim.Nanosecond, 0, func() {
+			cl.Procs[src].Send([]Message{{Dst: 3, Size: 4096}})
+		})
+	}
+	cl.Run(3 * sim.Millisecond)
+	c := cl.Hosts[0].conns[connKey{src: 0, dst: 3}]
+	if c == nil {
+		t.Fatal("no connection state")
+	}
+	if c.alpha == 0 {
+		t.Fatal("DCTCP alpha never updated despite ECN marks")
+	}
+	if c.cwnd >= cl.Hosts[0].Cfg.InitCwnd {
+		t.Fatalf("cwnd %.1f did not decrease from initial %.1f under congestion",
+			c.cwnd, cl.Hosts[0].Cfg.InitCwnd)
+	}
+	if cl.Net.Stats.ECNMarks == 0 {
+		t.Fatal("no ECN marks recorded")
+	}
+}
+
+func TestWindowNeverOverCommitted(t *testing.T) {
+	// inflight + reserved must never exceed min(cwnd, rwnd) while a burst
+	// drains through flow control.
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1}, 1)
+	ccfg := DefaultConfig()
+	ccfg.InitCwnd = 8
+	ccfg.MaxCwnd = 8
+	cl := Deploy(netsim.New(cfg), ccfg)
+	cl.Procs[1].OnDeliver = func(Delivery) {}
+	eng := cl.Net.Eng
+	eng.At(50*sim.Microsecond, func() {
+		for i := 0; i < 200; i++ {
+			cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 256}})
+		}
+	})
+	check := sim.NewTicker(eng, sim.Microsecond, 0, func() {
+		c := cl.Hosts[0].conns[connKey{src: 0, dst: 1}]
+		if c == nil {
+			return
+		}
+		if c.inflight+c.reserved > c.window()+1 {
+			t.Errorf("window overcommitted: inflight=%d reserved=%d window=%d",
+				c.inflight, c.reserved, c.window())
+		}
+		if c.inflight < 0 || c.reserved < 0 {
+			t.Errorf("negative accounting: inflight=%d reserved=%d", c.inflight, c.reserved)
+		}
+	})
+	cl.Run(5 * sim.Millisecond)
+	check.Stop()
+	if got := cl.Hosts[1].Stats.MsgsDelivered; got != 200 {
+		t.Fatalf("delivered %d of 200", got)
+	}
+}
+
+func TestLargeScatteringEventuallyLaunches(t *testing.T) {
+	// Anti-livelock (§6.1): a scattering larger than the free window must
+	// hold partial credits and launch once enough ACKs free space, even
+	// while small scatterings keep arriving.
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 3, SpinesPerPod: 1, Cores: 1}, 1)
+	ccfg := DefaultConfig()
+	ccfg.InitCwnd = 4
+	ccfg.MaxCwnd = 4
+	cl := Deploy(netsim.New(cfg), ccfg)
+	bigDone := false
+	small := 0
+	cl.Procs[1].OnDeliver = func(d Delivery) {
+		if d.Data == "big" {
+			bigDone = true
+		} else {
+			small++
+		}
+	}
+	cl.Procs[2].OnDeliver = func(Delivery) {}
+	eng := cl.Net.Eng
+	eng.At(50*sim.Microsecond, func() {
+		// A 16-packet message against a 4-packet window.
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Data: "big", Size: 16 * 1024}})
+	})
+	// Competing small traffic on the same connection, continuously.
+	sim.NewTicker(eng, 2*sim.Microsecond, 0, func() {
+		if eng.Now() < 50*sim.Microsecond || eng.Now() > 2*sim.Millisecond {
+			return
+		}
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Data: "s", Size: 64}})
+	})
+	cl.Run(5 * sim.Millisecond)
+	if !bigDone {
+		t.Fatal("large scattering starved (livelock)")
+	}
+	if small == 0 {
+		t.Fatal("small traffic never flowed")
+	}
+}
+
+func TestRetransmissionStopsAfterAck(t *testing.T) {
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1}, 1)
+	cfg.LossRate = 0.3
+	cfg.Seed = 13
+	cl := Deploy(netsim.New(cfg), DefaultConfig())
+	cl.Procs[1].OnDeliver = func(Delivery) {}
+	cl.Net.Eng.At(50*sim.Microsecond, func() {
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}})
+	})
+	cl.Run(10 * sim.Millisecond)
+	retxAt10ms := cl.Hosts[0].Stats.PktsRetx
+	cl.Run(10 * sim.Millisecond)
+	if cl.Hosts[0].Stats.PktsRetx != retxAt10ms {
+		t.Fatal("retransmissions continued after the message was ACKed")
+	}
+	if cl.Hosts[0].Stats.MsgsDelivered+cl.Hosts[1].Stats.MsgsDelivered != 1 {
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestRTOBackoffBounded(t *testing.T) {
+	// Destination permanently black-holed (node killed without controller):
+	// retransmissions must stop at MaxRetx and escalate via OnStuck.
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1}, 1)
+	ccfg := DefaultConfig()
+	ccfg.MaxRetx = 5
+	cl := Deploy(netsim.New(cfg), ccfg)
+	stuck := 0
+	cl.Hosts[0].OnStuck = func(src, dst netsim.ProcID, ts sim.Time) { stuck++ }
+	cl.Net.Eng.At(50*sim.Microsecond, func() {
+		cl.Net.G.KillNode(cl.Net.G.Host(1))
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}})
+	})
+	cl.Run(50 * sim.Millisecond)
+	if cl.Hosts[0].Stats.PktsRetx > uint64(ccfg.MaxRetx) {
+		t.Fatalf("retransmitted %d times, cap %d", cl.Hosts[0].Stats.PktsRetx, ccfg.MaxRetx)
+	}
+	if stuck == 0 {
+		t.Fatal("OnStuck escalation never fired")
+	}
+}

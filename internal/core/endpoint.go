@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// ErrSendBufferFull is returned when the credit wait queue is at capacity;
+// the application should back off and retry (§6.1: "If the send buffer is
+// full, the send API returns fail").
+var ErrSendBufferFull = errors.New("onepipe: send buffer full")
+
+// ErrNoMessages is returned for an empty scattering.
+var ErrNoMessages = errors.New("onepipe: empty scattering")
+
+// sendBufCap bounds the number of credit-blocked scatterings per host.
+const sendBufCap = 65536
+
+// HostStats counts per-host protocol events.
+type HostStats struct {
+	MsgsSent       uint64
+	MsgsDelivered  uint64
+	MsgsFailed     uint64
+	PktsSent       uint64
+	PktsRetx       uint64
+	Naks           uint64
+	DupPkts        uint64
+	Commits        uint64
+	Beacons        uint64
+	Recalled       uint64
+	BufferedBytes  int64 // current reorder-buffer occupancy
+	MaxBufferBytes int64
+	BufferedMsgs   int64
+}
+
+// Host is the lib1pipe runtime for one machine (§6.1). All processes on
+// the host share its clock, its uplink and its barrier state.
+type Host struct {
+	Cfg   Config
+	ID    int
+	Stats HostStats
+
+	wire  Wire
+	procs map[netsim.ProcID]*Proc
+
+	// Timestamping.
+	lastTS      sim.Time // last assigned message timestamp
+	advertisedC sim.Time // commit floor most recently advertised
+	// Send side.
+	conns map[connKey]*conn
+	waitQ []*scattering // credit-blocked, FIFO (held credits, §6.1)
+	// outstanding holds launched reliable scatterings in ascending ts
+	// order until fully ACKed or aborted; its head bounds the commit
+	// floor (§5.1 Commit phase).
+	outstanding []*scattering
+	// Receive side.
+	rconns      map[connKey]*rconn
+	barrierBE   sim.Time
+	barrierC    sim.Time
+	beQ, relQ   deliveryHeap
+	deliveredBE sim.Time
+	deliveredC  sim.Time
+	// Failure state.
+	failedPeers map[netsim.ProcID]sim.Time // proc -> failure timestamp
+	recallTomb  map[recallKey]bool
+	recalls     map[recallKey]*recallState
+	ackPending  map[ackKey]*ackPend
+	failDone    func()
+	failWait    int
+
+	// OnStuck, if set, is called when a reliable message or recall from
+	// src exhausted MaxRetx retransmissions toward dst; the
+	// controller-forwarding path (§5.2) hooks in here.
+	OnStuck func(src, dst netsim.ProcID, ts sim.Time)
+
+	beaconTimer    *timer
+	lastUplinkSend sim.Time
+	stopped        bool
+	// reprProc identifies this host on substrates that key uplink barrier
+	// registers by packet source (e.g. the UDP switch): beacons and
+	// commit messages carry it as Src.
+	reprProc netsim.ProcID
+	hasRepr  bool
+}
+
+type recallKey struct {
+	dst netsim.ProcID
+	ts  sim.Time
+}
+
+type recallState struct {
+	scat  *scattering
+	timer *timer
+	tries int
+}
+
+// NewHost creates the lib1pipe runtime for host id over the given wire.
+// Call Start to begin beacon generation, then AddProc for each process.
+func NewHost(id int, wire Wire, cfg Config) *Host {
+	h := &Host{
+		Cfg:         cfg.withDefaults(),
+		ID:          id,
+		wire:        wire,
+		procs:       make(map[netsim.ProcID]*Proc),
+		conns:       make(map[connKey]*conn),
+		rconns:      make(map[connKey]*rconn),
+		failedPeers: make(map[netsim.ProcID]sim.Time),
+		recallTomb:  make(map[recallKey]bool),
+		recalls:     make(map[recallKey]*recallState),
+		ackPending:  make(map[ackKey]*ackPend),
+	}
+	return h
+}
+
+// Start arms the host's uplink beacon generator (§4.2).
+func (h *Host) Start() {
+	if h.beaconTimer != nil {
+		return
+	}
+	h.beaconTimer = newTimer(h.wire, h.beaconTick)
+	h.beaconTimer.reset(h.Cfg.BeaconInterval)
+}
+
+// Stop halts beacon generation and timers; the host no longer participates.
+func (h *Host) Stop() {
+	h.stopped = true
+	if h.beaconTimer != nil {
+		h.beaconTimer.stop()
+	}
+	for _, c := range h.conns {
+		if c.rto != nil {
+			c.rto.stop()
+		}
+	}
+	for _, r := range h.recalls {
+		r.timer.stop()
+	}
+	for _, p := range h.ackPending {
+		p.timer.stop()
+	}
+}
+
+// beaconTick emits the host's periodic uplink beacon (§6.1: the polling
+// thread generates periodic beacon packets). Beacons are unconditional:
+// data packets between ticks carry the same floors, but the strict
+// "deliver below barrier" rule needs a guaranteed emission whose floor
+// exceeds the last data timestamp within one interval.
+func (h *Host) beaconTick() {
+	if h.stopped {
+		return
+	}
+	h.sendBeacon()
+	h.beaconTimer.reset(h.Cfg.BeaconInterval)
+}
+
+func (h *Host) sendBeacon() {
+	h.Stats.Beacons++
+	h.emit(&netsim.Packet{Kind: netsim.KindBeacon, Src: h.reprProc, Size: netsim.BeaconBytes})
+}
+
+// emit stamps the barrier fields every host packet carries and sends it.
+func (h *Host) emit(pkt *netsim.Packet) {
+	pkt.BarrierBE = h.tsFloor()
+	pkt.BarrierC = h.commitAdvertise()
+	h.lastUplinkSend = h.wire.Now()
+	h.Stats.PktsSent++
+	h.wire.Send(pkt)
+}
+
+// tsFloor is the host's best-effort barrier: no future message from this
+// host will carry a timestamp below it.
+func (h *Host) tsFloor() sim.Time {
+	now := h.wire.Now()
+	if h.lastTS > now {
+		return h.lastTS
+	}
+	return now
+}
+
+// commitFloor is the largest T such that every reliable message from this
+// host with timestamp <= T has been fully ACKed (§5.1).
+func (h *Host) commitFloor() sim.Time {
+	if len(h.outstanding) > 0 {
+		return h.outstanding[0].ts - 1
+	}
+	return h.tsFloor()
+}
+
+// commitAdvertise returns the monotone commit floor and records it so that
+// timestamp assignment stays strictly above it.
+func (h *Host) commitAdvertise() sim.Time {
+	if f := h.commitFloor(); f > h.advertisedC {
+		h.advertisedC = f
+	}
+	return h.advertisedC
+}
+
+// nextTS assigns the timestamp for a scattering at egress time: the host
+// clock, forced strictly increasing and strictly above the advertised
+// commit floor (a receiver holding commit barrier T deliver everything
+// <= T, so new messages must exceed T).
+func (h *Host) nextTS() sim.Time {
+	ts := h.wire.Now()
+	if ts <= h.lastTS {
+		ts = h.lastTS + 1
+	}
+	if ts <= h.advertisedC {
+		ts = h.advertisedC + 1
+	}
+	h.lastTS = ts
+	return ts
+}
+
+// Proc is one 1Pipe process endpoint (Table 1's API surface).
+type Proc struct {
+	ID   netsim.ProcID
+	host *Host
+
+	// OnDeliver receives messages in (timestamp, sender) total order.
+	OnDeliver func(Delivery)
+	// OnSendFail is the send-failure callback of Table 1.
+	OnSendFail func(SendFailure)
+	// OnProcFail is the process-failure callback of Table 1.
+	OnProcFail func(proc netsim.ProcID, ts sim.Time)
+	// OnRaw receives unordered raw RPCs sent with SendRaw.
+	OnRaw func(src netsim.ProcID, data any)
+}
+
+// SendRaw transmits an unordered, unacknowledged message outside the 1Pipe
+// total order — for RPC responses and other traffic that does not need
+// ordering. Under loss it simply vanishes; callers needing reliability use
+// their own timeouts.
+func (p *Proc) SendRaw(dst netsim.ProcID, data any, size int) {
+	if size <= 0 {
+		size = 64
+	}
+	p.host.emit(&netsim.Packet{
+		Kind: netsim.KindCtrl, Src: p.ID, Dst: dst,
+		Payload: data, Size: size + netsim.HeaderBytes,
+	})
+}
+
+// AddProc registers a process on this host.
+func (h *Host) AddProc(id netsim.ProcID) *Proc {
+	p := &Proc{ID: id, host: h}
+	h.procs[id] = p
+	if !h.hasRepr {
+		h.reprProc = id
+		h.hasRepr = true
+	}
+	return p
+}
+
+// Procs returns the number of local processes.
+func (h *Host) Procs() int { return len(h.procs) }
+
+// Timestamp returns the host's current 1Pipe timestamp
+// (onepipe_get_timestamp).
+func (p *Proc) Timestamp() sim.Time { return p.host.wire.Now() }
+
+// Send issues a best-effort scattering (onepipe_unreliable_send): all
+// messages share one timestamp; lost messages are reported through
+// OnSendFail, never retransmitted.
+func (p *Proc) Send(msgs []Message) error { return p.host.send(p, msgs, false) }
+
+// SendReliable issues a reliable scattering (onepipe_reliable_send):
+// delivery is guaranteed via 2PC unless a participant fails, in which case
+// the whole scattering is recalled (restricted failure atomicity).
+func (p *Proc) SendReliable(msgs []Message) error { return p.host.send(p, msgs, true) }
+
+func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
+	if len(msgs) == 0 {
+		return ErrNoMessages
+	}
+	if h.stopped {
+		return fmt.Errorf("onepipe: host %d stopped", h.ID)
+	}
+	if len(h.waitQ) >= sendBufCap {
+		return ErrSendBufferFull
+	}
+	s := newScattering(p, msgs, reliable, h.Cfg.MTU)
+	// Messages to processes already known failed cannot be sent.
+	for i := range s.msgs {
+		if _, dead := h.failedPeers[s.msgs[i].Dst]; dead {
+			return fmt.Errorf("onepipe: destination %d failed", s.msgs[i].Dst)
+		}
+	}
+	h.tryAcquire(s)
+	if s.fullyReserved() {
+		h.launch(s)
+	} else {
+		h.waitQ = append(h.waitQ, s)
+	}
+	return nil
+}

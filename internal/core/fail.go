@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sort"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// ApplyFailure executes the Discard, Recall and Callback steps of §5.2 on
+// this host after the controller broadcast a failure notification: failed
+// maps each failed process to its failure timestamp. done is invoked once
+// every recall issued by this host has been acknowledged — the host's
+// completion message back to the controller.
+func (h *Host) ApplyFailure(failed map[netsim.ProcID]sim.Time, done func()) {
+	for p, ts := range failed {
+		if old, ok := h.failedPeers[p]; !ok || ts < old {
+			h.failedPeers[p] = ts
+		}
+	}
+
+	// Discard: drop received-but-undelivered messages from failed
+	// processes with timestamps beyond their failure timestamp.
+	h.discardFrom(failed)
+
+	// Recall: abort in-flight scatterings with a failed destination.
+	h.failDone = done
+	h.failWait = 0
+	h.recallAffected(failed)
+
+	// Callback: notify every local process of each failure.
+	for fp, fts := range failed {
+		for _, proc := range h.procs {
+			if proc.OnProcFail != nil {
+				proc.OnProcFail(fp, fts)
+			}
+		}
+	}
+	h.checkFailDone()
+}
+
+func (h *Host) discardFrom(failed map[netsim.ProcID]sim.Time) {
+	filter := func(q *deliveryHeap) {
+		kept := (*q)[:0]
+		for _, p := range *q {
+			if fts, dead := failed[p.src]; dead && p.ts > fts {
+				h.Stats.BufferedMsgs--
+				h.Stats.BufferedBytes -= int64(p.size)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		*q = kept
+		q.reinit()
+	}
+	filter(&h.beQ)
+	filter(&h.relQ)
+	// Partial reassembly state from failed processes is dropped wholesale:
+	// no further fragments will arrive.
+	for key, rc := range h.rconns {
+		fts, dead := failed[key.src]
+		if !dead {
+			continue
+		}
+		for _, buf := range rc.bufs {
+			buf.dropWhere(func(p *netsim.Packet) bool { return p.MsgTS > fts })
+		}
+	}
+}
+
+func (dh *deliveryHeap) reinit() {
+	// Restore heap order after in-place filtering.
+	h := *dh
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		siftDown(h, i)
+	}
+}
+
+func siftDown(h deliveryHeap, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h.Less(l, small) {
+			small = l
+		}
+		if r < len(h) && h.Less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h.Swap(i, small)
+		i = small
+	}
+}
+
+// recallAffected aborts every launched-but-uncommitted reliable scattering
+// that includes a failed destination: messages to correct receivers are
+// recalled (all-or-nothing delivery, §5.2), messages to the failed
+// destination are reported via the send-failure callback, and waiting
+// best-effort traffic to failed destinations is failed eagerly.
+func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
+	for _, s := range h.outstanding {
+		if s.done || s.aborted {
+			continue
+		}
+		hit := false
+		for i := range s.msgs {
+			if _, dead := failed[s.msgs[i].Dst]; dead {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		h.abortScattering(s)
+	}
+	// Credit-blocked scatterings with failed destinations cannot launch.
+	remaining := h.waitQ[:0]
+	for _, s := range h.waitQ {
+		hit := false
+		for i := range s.msgs {
+			if _, dead := failed[s.msgs[i].Dst]; dead {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			remaining = append(remaining, s)
+			continue
+		}
+		s.aborted = true
+		h.releaseReservations(s)
+		for i := range s.msgs {
+			h.failMessage(s, i)
+		}
+	}
+	h.waitQ = remaining
+	// Un-ACKed packets addressed to failed processes will never be ACKed:
+	// free their window slots so unrelated traffic keeps flowing.
+	for key, c := range h.conns {
+		if _, dead := failed[key.dst]; !dead {
+			continue
+		}
+		for k := 0; k < 2; k++ {
+			for psn, op := range c.unacked[k] {
+				c.dropInflight(k, psn)
+				if !op.scat.reliable && !op.scat.aborted {
+					op.scat.aborted = true
+					for i := range op.scat.msgs {
+						if op.scat.ackedMsg[i] < op.scat.fragsPerMsg[i] {
+							h.failMessage(op.scat, i)
+						}
+					}
+				}
+			}
+		}
+	}
+	h.grantCredits()
+}
+
+// abortScattering recalls a reliable scattering: correct receivers are told
+// to discard it, and once all recall ACKs arrive the scattering stops
+// blocking the commit floor.
+func (h *Host) abortScattering(s *scattering) {
+	s.aborted = true
+	h.Stats.Recalled++
+	for i := range s.msgs {
+		dst := s.msgs[i].Dst
+		h.failMessage(s, i)
+		if _, dead := h.failedPeers[dst]; dead {
+			continue
+		}
+		rk := recallKey{dst: dst, ts: s.ts}
+		if _, exists := h.recalls[rk]; exists {
+			continue
+		}
+		s.recallsPending++
+		h.failWait++
+		rs := &recallState{scat: s}
+		rs.timer = newTimer(h.wire, func() { h.resendRecall(rk, rs) })
+		h.recalls[rk] = rs
+		h.sendRecall(s.owner.ID, rk)
+		rs.timer.reset(h.Cfg.RTO)
+	}
+	// Drop un-ACKed packets of this scattering to stop retransmission.
+	for i := range s.credits {
+		s.credits[i].conn.dropScattering(s)
+	}
+	if s.recallsPending == 0 {
+		s.done = true
+		h.reapOutstanding()
+	}
+}
+
+func (h *Host) sendRecall(src netsim.ProcID, rk recallKey) {
+	h.emit(&netsim.Packet{
+		Kind: netsim.KindRecall, Src: src, Dst: rk.dst,
+		MsgTS: rk.ts, Size: netsim.BeaconBytes,
+	})
+}
+
+func (h *Host) resendRecall(rk recallKey, rs *recallState) {
+	if h.stopped {
+		return
+	}
+	rs.tries++
+	if h.Cfg.MaxRetx > 0 && rs.tries > h.Cfg.MaxRetx {
+		if h.OnStuck != nil {
+			h.OnStuck(rs.scat.owner.ID, rk.dst, rk.ts)
+		}
+		return
+	}
+	h.sendRecall(rs.scat.owner.ID, rk)
+	rs.timer.reset(h.Cfg.RTO)
+}
+
+// handleRecall executes the receiver side of Recall: discard the scattering
+// member identified by (sender, timestamp) and acknowledge.
+func (h *Host) handleRecall(pkt *netsim.Packet) {
+	h.ApplyRecallTombstone(pkt.Src, pkt.MsgTS)
+	h.emit(&netsim.Packet{
+		Kind: netsim.KindRecallAck, Src: pkt.Dst, Dst: pkt.Src,
+		MsgTS: pkt.MsgTS, Size: netsim.BeaconBytes,
+	})
+}
+
+// ApplyRecallTombstone discards the scattering member (sender, ts) without
+// acknowledging — used directly by the controller during receiver recovery.
+func (h *Host) ApplyRecallTombstone(sender netsim.ProcID, ts sim.Time) {
+	rk := recallKey{dst: sender, ts: ts}
+	if !h.recallTomb[rk] {
+		h.recallTomb[rk] = true
+		h.removeBuffered(sender, ts)
+	}
+}
+
+func (h *Host) removeBuffered(src netsim.ProcID, ts sim.Time) {
+	filter := func(q *deliveryHeap) {
+		kept := (*q)[:0]
+		for _, p := range *q {
+			if p.src == src && p.ts == ts {
+				h.Stats.BufferedMsgs--
+				h.Stats.BufferedBytes -= int64(p.size)
+				continue
+			}
+			kept = append(kept, p)
+		}
+		*q = kept
+		q.reinit()
+	}
+	filter(&h.relQ)
+	// Buffered fragments of the recalled message are consumed unseen.
+	for key, rc := range h.rconns {
+		if key.src != src {
+			continue
+		}
+		rc.bufs[1].dropWhere(func(p *netsim.Packet) bool { return p.MsgTS == ts })
+	}
+}
+
+// PendingTo rebuilds the wire packets of every un-ACKed reliable message
+// from src to dst — the payload of §5.2's Controller Forwarding when the
+// network path between the pair has failed but both remain controller-
+// reachable.
+func (h *Host) PendingTo(src, dst netsim.ProcID) []*netsim.Packet {
+	c := h.conns[connKey{src: src, dst: dst}]
+	if c == nil {
+		return nil
+	}
+	var out []*netsim.Packet
+	for psn, op := range c.unacked[1] {
+		out = append(out, c.buildPacket(op, psn))
+	}
+	for _, op := range c.sendQ {
+		if op.scat.reliable && !op.scat.aborted {
+			out = append(out, c.buildPacket(op, op.psn))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].PSN < out[j].PSN })
+	return out
+}
+
+// ResolveRecall completes a recall whose receiver is unreachable: the
+// controller has durably recorded the undeliverable recall (so a recovered
+// receiver will discard consistently) and releases the sender (§5.2
+// Controller Forwarding).
+func (h *Host) ResolveRecall(dst netsim.ProcID, ts sim.Time) {
+	rk := recallKey{dst: dst, ts: ts}
+	rs, ok := h.recalls[rk]
+	if !ok {
+		return
+	}
+	rs.timer.stop()
+	delete(h.recalls, rk)
+	rs.scat.recallsPending--
+	if rs.scat.recallsPending == 0 {
+		rs.scat.done = true
+		h.reapOutstanding()
+	}
+	h.failWait--
+	h.checkFailDone()
+}
+
+func (h *Host) handleRecallAck(pkt *netsim.Packet) {
+	rk := recallKey{dst: pkt.Src, ts: pkt.MsgTS}
+	rs, ok := h.recalls[rk]
+	if !ok {
+		return
+	}
+	rs.timer.stop()
+	delete(h.recalls, rk)
+	rs.scat.recallsPending--
+	if rs.scat.recallsPending == 0 {
+		rs.scat.done = true
+		h.reapOutstanding()
+	}
+	h.failWait--
+	h.checkFailDone()
+}
+
+func (h *Host) checkFailDone() {
+	if h.failWait == 0 && h.failDone != nil {
+		done := h.failDone
+		h.failDone = nil
+		done()
+	}
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/sim"
+)
+
+// TestLateJoiningHost exercises §4.2's "addition of new hosts": a host
+// whose 1Pipe runtime starts long after the rest of the cluster first
+// appears as a dead uplink (removed from aggregation), then rejoins. The
+// switch's monotonic-output clamp must prevent any barrier regression, and
+// traffic from the latecomer must flow and stay ordered.
+func TestLateJoiningHost(t *testing.T) {
+	cl := smallNet(t, 1, nil)
+	// Stop host 0's runtime before anything happens: no beacons from it.
+	cl.Hosts[0].Stop()
+
+	var barrier sim.Time
+	regressions := 0
+	var deliveries []sim.Time
+	cl.Procs[5].OnDeliver = func(d Delivery) { deliveries = append(deliveries, d.TS) }
+	// Track barrier monotonicity at host 5 through the core runtime's view.
+	check := sim.NewTicker(cl.Net.Eng, 5*sim.Microsecond, 0, func() {
+		be, _ := cl.Hosts[5].Barriers()
+		if be < barrier {
+			regressions++
+		}
+		barrier = be
+	})
+	defer check.Stop()
+
+	// The cluster runs without host 0 long enough for the dead-link
+	// scanner to remove it and barriers to advance.
+	cl.Run(500 * sim.Microsecond)
+	before := barrier
+	if before == 0 {
+		t.Fatal("barrier never advanced without the latecomer")
+	}
+
+	// Host 0 joins: a fresh runtime on the same (synchronized) clock.
+	h0 := NewHost(0, simWire{n: cl.Net, host: 0}, cl.Hosts[0].Cfg)
+	cl.Net.AttachHost(0, h0.HandlePacket)
+	h0.Start()
+	p0 := h0.AddProc(0)
+	cl.Run(200 * sim.Microsecond)
+	if err := p0.SendReliable([]Message{{Dst: 5, Size: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	cl.Run(2 * sim.Millisecond)
+
+	if regressions != 0 {
+		t.Fatalf("%d barrier regressions across the join", regressions)
+	}
+	if len(deliveries) != 1 {
+		t.Fatalf("latecomer's message delivered %d times", len(deliveries))
+	}
+	if deliveries[0] <= before {
+		t.Fatal("latecomer's timestamp below the pre-join barrier (clock sync violated)")
+	}
+}

@@ -1,0 +1,437 @@
+package core
+
+import (
+	"container/heap"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// pending is one complete message waiting in the reorder buffer.
+type pending struct {
+	ts       sim.Time
+	src, dst netsim.ProcID
+	psn      uint32 // PSN of the last fragment; tie-break within (ts, src)
+	data     any
+	size     int
+	reliable bool
+}
+
+// deliveryHeap orders messages by (timestamp, sender, PSN) — the total
+// order of §2.1 with ties broken by sender ID.
+type deliveryHeap []*pending
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.psn < b.psn
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(*pending)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	*h = old[:n-1]
+	return p
+}
+func (h deliveryHeap) top() *pending { return h[0] }
+
+// asmBuf reassembles one class's fragment stream for one (sender, local
+// process) pair. Reassembly is keyed on (PSN - FragIdx), the message's
+// first PSN, so holes left by lost best-effort packets never block later
+// messages.
+type asmBuf struct {
+	doneBase uint32 // every PSN below this is consumed or skipped
+	done     map[uint32]bool
+	frags    map[uint32]*netsim.Packet
+	capped   bool // best-effort: bound the done set by forcing doneBase forward
+}
+
+func newAsmBuf(capped bool) *asmBuf {
+	return &asmBuf{done: make(map[uint32]bool), frags: make(map[uint32]*netsim.Packet), capped: capped}
+}
+
+// asmDoneCap bounds the done set of a best-effort assembly buffer: beyond
+// it, permanently-lost PSN holes are forgotten (their late arrivals are
+// treated as duplicates — acceptable for at-most-once traffic).
+const asmDoneCap = 4096
+
+func (a *asmBuf) isDup(psn uint32) bool {
+	return psn < a.doneBase || a.done[psn] || a.frags[psn] != nil
+}
+
+func (a *asmBuf) markDone(psn uint32) {
+	if psn < a.doneBase {
+		return
+	}
+	a.done[psn] = true
+	for a.done[a.doneBase] {
+		delete(a.done, a.doneBase)
+		a.doneBase++
+	}
+	if a.capped {
+		for len(a.done) > asmDoneCap {
+			delete(a.done, a.doneBase)
+			a.doneBase++
+		}
+	}
+}
+
+// add buffers a fragment and returns the carrier packet and total payload
+// size when the fragment completed its message.
+func (a *asmBuf) add(pkt *netsim.Packet) (last *netsim.Packet, size int, complete bool) {
+	a.frags[pkt.PSN] = pkt
+	start := pkt.PSN - uint32(pkt.FragIdx)
+	j := start
+	for {
+		f, ok := a.frags[j]
+		if !ok {
+			return nil, 0, false
+		}
+		size += f.Size - netsim.HeaderBytes
+		if f.EndOfMsg {
+			last = f
+			break
+		}
+		j++
+	}
+	for k := start; k <= j; k++ {
+		delete(a.frags, k)
+		a.markDone(k)
+	}
+	return last, size, true
+}
+
+// skip consumes a fragment position (and any buffered siblings of the same
+// message) without delivering — used for ordering NAKs and recalls.
+func (a *asmBuf) skip(pkt *netsim.Packet) {
+	start := pkt.PSN - uint32(pkt.FragIdx)
+	a.markDone(pkt.PSN)
+	for j := start; ; j++ {
+		f, ok := a.frags[j]
+		if !ok {
+			break
+		}
+		delete(a.frags, j)
+		a.markDone(j)
+		if f.EndOfMsg {
+			break
+		}
+	}
+}
+
+// dropWhere removes buffered fragments matching pred (failure discard).
+func (a *asmBuf) dropWhere(pred func(*netsim.Packet) bool) {
+	for psn, f := range a.frags {
+		if pred(f) {
+			delete(a.frags, psn)
+			a.markDone(psn)
+		}
+	}
+}
+
+// rconn is receive-side state per (remote sender process, local process).
+type rconn struct {
+	key  connKey
+	bufs [2]*asmBuf
+}
+
+func (h *Host) getRconn(src, dst netsim.ProcID) *rconn {
+	k := connKey{src, dst}
+	rc := h.rconns[k]
+	if rc == nil {
+		rc = &rconn{key: k}
+		rc.bufs[0] = newAsmBuf(true)
+		rc.bufs[1] = newAsmBuf(false)
+		h.rconns[k] = rc
+	}
+	return rc
+}
+
+// HandlePacket is the host's network receive entry point; the substrate
+// adapter (netsim or livenet) calls it for every packet delivered to the
+// host, beacons included.
+func (h *Host) HandlePacket(pkt *netsim.Packet) {
+	if h.stopped {
+		return
+	}
+	switch pkt.Kind {
+	case netsim.KindBeacon:
+		h.updateBarriers(pkt.BarrierBE, pkt.BarrierC)
+	case netsim.KindData:
+		if h.Cfg.UseDataBarriers {
+			h.updateBarriers(pkt.BarrierBE, pkt.BarrierC)
+		}
+		h.handleData(pkt)
+	case netsim.KindAck:
+		if h.Cfg.UseDataBarriers {
+			h.updateBarriers(pkt.BarrierBE, pkt.BarrierC)
+		}
+		if c := h.conns[connKey{src: pkt.Dst, dst: pkt.Src}]; c != nil {
+			if batch, ok := pkt.Payload.(ackBatch); ok {
+				for i, psn := range batch.psns {
+					c.onAck(pkt.Reliable, psn, batch.ecn[i])
+				}
+			} else {
+				c.onAck(pkt.Reliable, pkt.PSN, pkt.ECN)
+			}
+		}
+	case netsim.KindNak:
+		h.handleNak(pkt)
+	case netsim.KindRecall:
+		h.handleRecall(pkt)
+	case netsim.KindRecallAck:
+		h.handleRecallAck(pkt)
+	case netsim.KindCtrl:
+		// Raw (unordered, unacknowledged) application RPC — the paper's
+		// response messages that "do not need to be ordered by 1Pipe".
+		if proc := h.procs[pkt.Dst]; proc != nil && proc.OnRaw != nil {
+			proc.OnRaw(pkt.Src, pkt.Payload)
+		}
+	}
+}
+
+func (h *Host) updateBarriers(be, c sim.Time) {
+	if hb := h.Cfg.DeliveryHoldback; hb > 0 {
+		be -= hb
+		c -= hb
+	}
+	changed := false
+	if be > h.barrierBE {
+		h.barrierBE = be
+		changed = true
+	}
+	if c > h.barrierC {
+		h.barrierC = c
+		changed = true
+	}
+	if changed {
+		h.drain()
+	}
+}
+
+// Barriers exposes the host's current view of the two aggregated barriers.
+func (h *Host) Barriers() (be, c sim.Time) { return h.barrierBE, h.barrierC }
+
+func (h *Host) handleData(pkt *netsim.Packet) {
+	rc := h.getRconn(pkt.Src, pkt.Dst)
+	buf := rc.bufs[cls(pkt.Reliable)]
+	if buf.isDup(pkt.PSN) {
+		h.Stats.DupPkts++
+		h.ackPacket(pkt) // retransmission of a consumed packet: re-ACK
+		return
+	}
+	// Ordering check: a best-effort packet whose message timestamp can no
+	// longer be delivered in order is dropped with a NAK to the sender
+	// (§4.1); a reliable packet at or below the delivered commit floor is
+	// a duplicate of a committed message.
+	if !pkt.Reliable && pkt.MsgTS < h.deliveredFloorBE() {
+		h.Stats.Naks++
+		h.emit(&netsim.Packet{Kind: netsim.KindNak, Src: pkt.Dst, Dst: pkt.Src,
+			PSN: pkt.PSN, MsgTS: pkt.MsgTS, Size: netsim.BeaconBytes})
+		buf.skip(pkt)
+		return
+	}
+	if pkt.Reliable && pkt.MsgTS <= h.deliveredC {
+		h.Stats.DupPkts++
+		h.ackPacket(pkt)
+		buf.skip(pkt)
+		return
+	}
+	h.ackPacket(pkt)
+	last, size, complete := buf.add(pkt)
+	if complete {
+		h.enqueueMsg(last, size)
+		h.drain()
+	}
+}
+
+func (h *Host) deliveredFloorBE() sim.Time {
+	if h.Cfg.Mode == DeliverUnified && h.deliveredC > h.deliveredBE {
+		return h.deliveredC
+	}
+	return h.deliveredBE
+}
+
+// ackBatch is the payload of a coalesced ACK: per-PSN entries with their
+// echoed ECN marks.
+type ackBatch struct {
+	psns []uint32
+	ecn  []bool
+}
+
+// ackPend accumulates ACKs toward one sender/class until flushed.
+type ackPend struct {
+	batch ackBatch
+	timer *timer
+}
+
+type ackKey struct {
+	local, remote netsim.ProcID
+	reliable      bool
+}
+
+func (h *Host) ackPacket(pkt *netsim.Packet) {
+	if !pkt.Reliable && h.Cfg.DisableBEAck {
+		return
+	}
+	if h.Cfg.AckFlush <= 0 {
+		h.emit(&netsim.Packet{
+			Kind: netsim.KindAck, Src: pkt.Dst, Dst: pkt.Src,
+			PSN: pkt.PSN, MsgTS: pkt.MsgTS, ECN: pkt.ECN, Reliable: pkt.Reliable,
+			Size: netsim.BeaconBytes,
+		})
+		return
+	}
+	k := ackKey{local: pkt.Dst, remote: pkt.Src, reliable: pkt.Reliable}
+	p := h.ackPending[k]
+	if p == nil {
+		p = &ackPend{}
+		p.timer = newTimer(h.wire, func() { h.flushAcks(k) })
+		h.ackPending[k] = p
+	}
+	if len(p.batch.psns) == 0 {
+		p.timer.reset(h.Cfg.AckFlush)
+	}
+	p.batch.psns = append(p.batch.psns, pkt.PSN)
+	p.batch.ecn = append(p.batch.ecn, pkt.ECN)
+	if h.Cfg.AckBatchMax > 0 && len(p.batch.psns) >= h.Cfg.AckBatchMax {
+		h.flushAcks(k)
+	}
+}
+
+// flushAcks emits one coalesced ACK packet carrying every pending PSN.
+func (h *Host) flushAcks(k ackKey) {
+	p := h.ackPending[k]
+	if p == nil || len(p.batch.psns) == 0 {
+		return
+	}
+	batch := p.batch
+	p.batch = ackBatch{}
+	p.timer.stop()
+	h.emit(&netsim.Packet{
+		Kind: netsim.KindAck, Src: k.local, Dst: k.remote,
+		PSN: batch.psns[0], Reliable: k.reliable,
+		Payload: batch,
+		Size:    netsim.HeaderBytes + 5*len(batch.psns),
+	})
+}
+
+func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {
+	// Discard semantics of failure handling (§5.2): messages from a
+	// failed process beyond its failure timestamp are never delivered,
+	// and recalled scattering members are tombstoned.
+	if failTS, dead := h.failedPeers[pkt.Src]; dead && pkt.MsgTS > failTS {
+		return
+	}
+	if h.recallTomb[recallKey{dst: pkt.Src, ts: pkt.MsgTS}] {
+		return
+	}
+	p := &pending{
+		ts: pkt.MsgTS, src: pkt.Src, dst: pkt.Dst, psn: pkt.PSN,
+		data: pkt.Payload, size: size, reliable: pkt.Reliable,
+	}
+	if p.reliable {
+		heap.Push(&h.relQ, p)
+	} else {
+		heap.Push(&h.beQ, p)
+	}
+	h.Stats.BufferedMsgs++
+	h.Stats.BufferedBytes += int64(size)
+	if h.Stats.BufferedBytes > h.Stats.MaxBufferBytes {
+		h.Stats.MaxBufferBytes = h.Stats.BufferedBytes
+	}
+}
+
+// drain delivers every buffered message the barriers cover, in (ts, src)
+// order. Best-effort delivery requires ts < barrierBE (strictly: equal
+// timestamps may still arrive); reliable delivery requires ts <= barrierC
+// (§5.1). Unified mode gates both classes on both barriers to produce one
+// cross-class total order.
+func (h *Host) drain() {
+	switch h.Cfg.Mode {
+	case DeliverSeparate:
+		for h.beQ.Len() > 0 && h.beQ.top().ts < h.barrierBE {
+			h.deliver(heap.Pop(&h.beQ).(*pending))
+		}
+		for h.relQ.Len() > 0 && h.relQ.top().ts <= h.barrierC {
+			h.deliver(heap.Pop(&h.relQ).(*pending))
+		}
+	case DeliverUnified:
+		eff := h.barrierBE - 1
+		if h.barrierC < eff {
+			eff = h.barrierC
+		}
+		for {
+			var q *deliveryHeap
+			switch {
+			case h.beQ.Len() == 0 && h.relQ.Len() == 0:
+				return
+			case h.beQ.Len() == 0:
+				q = &h.relQ
+			case h.relQ.Len() == 0:
+				q = &h.beQ
+			default:
+				a, b := h.beQ.top(), h.relQ.top()
+				if a.ts < b.ts || (a.ts == b.ts && a.src <= b.src) {
+					q = &h.beQ
+				} else {
+					q = &h.relQ
+				}
+			}
+			if q.top().ts > eff {
+				return
+			}
+			h.deliver(heap.Pop(q).(*pending))
+		}
+	}
+}
+
+func (h *Host) deliver(p *pending) {
+	if p.reliable {
+		if p.ts > h.deliveredC {
+			h.deliveredC = p.ts
+		}
+	} else if p.ts > h.deliveredBE {
+		h.deliveredBE = p.ts
+	}
+	if h.Cfg.Mode == DeliverUnified {
+		if p.ts > h.deliveredBE {
+			h.deliveredBE = p.ts
+		}
+		if p.ts > h.deliveredC {
+			h.deliveredC = p.ts
+		}
+	}
+	h.Stats.BufferedMsgs--
+	h.Stats.BufferedBytes -= int64(p.size)
+	h.Stats.MsgsDelivered++
+	proc := h.procs[p.dst]
+	if proc == nil || proc.OnDeliver == nil {
+		return
+	}
+	proc.OnDeliver(Delivery{TS: p.ts, Src: p.src, Dst: p.dst, Data: p.data, Reliable: p.reliable})
+}
+
+// handleNak reports a best-effort loss (ordering drop) back to the
+// application immediately instead of waiting for the send-fail timeout.
+func (h *Host) handleNak(pkt *netsim.Packet) {
+	c := h.conns[connKey{src: pkt.Dst, dst: pkt.Src}]
+	if c == nil {
+		return
+	}
+	op, ok := c.unacked[0][pkt.PSN]
+	if !ok {
+		return
+	}
+	c.dropInflight(0, pkt.PSN)
+	h.failMessage(op.scat, op.msgIdx)
+	h.grantCredits()
+}

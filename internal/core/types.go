@@ -1,0 +1,192 @@
+// Package core implements lib1pipe, the end-host runtime of 1Pipe (§6.1).
+//
+// A Host owns every 1Pipe process on one machine: it assigns monotonic
+// message timestamps, runs the send buffer with scattering credits and
+// DCTCP-style congestion control, fragments messages into UD-style packets,
+// tracks end-to-end ACKs, computes the commit floor of reliable 1Pipe's two
+// phase commit, generates beacons on the idle uplink, and reorders received
+// messages in a priority queue for barrier-gated delivery.
+//
+// The package is substrate-independent: all I/O goes through the Wire
+// interface, so the same state machines run on the deterministic network
+// simulator (internal/netsim) and the real-time emulator (internal/livenet).
+package core
+
+import (
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// Wire abstracts the host's attachment to the network and to time. Now
+// must return the host's synchronized, monotonically non-decreasing clock.
+type Wire interface {
+	// Send injects a packet from this host into the network.
+	Send(pkt *netsim.Packet)
+	// Now returns the host clock in nanoseconds.
+	Now() sim.Time
+	// After schedules fn once, d nanoseconds from now.
+	After(d sim.Time, fn func())
+}
+
+// Message is one element of a scattering: payload for one destination.
+type Message struct {
+	Dst  netsim.ProcID
+	Data any
+	// Size is the payload size in bytes used for fragmentation and
+	// bandwidth accounting; zero is treated as 64.
+	Size int
+}
+
+// Delivery is a message handed to the application, in (TS, Src) total
+// order.
+type Delivery struct {
+	TS       sim.Time
+	Src, Dst netsim.ProcID
+	Data     any
+	Reliable bool
+}
+
+// SendFailure reports a message that will not be delivered: a best-effort
+// message that was lost or NAKed, or a reliable message recalled because a
+// receiver in its scattering failed (Table 1's send-fail callback).
+type SendFailure struct {
+	TS   sim.Time
+	Dst  netsim.ProcID
+	Data any
+}
+
+// DeliveryMode selects how the two reliability classes interleave at a
+// receiver.
+type DeliveryMode uint8
+
+const (
+	// DeliverSeparate treats best-effort and reliable 1Pipe as two
+	// independent totally-ordered streams — the paper's default, giving
+	// best-effort its 0.5 RTT + barrier-wait latency.
+	DeliverSeparate DeliveryMode = iota
+	// DeliverUnified gates every delivery on min(barrierBE, barrierC) so
+	// the two classes form a single cross-class total order; best-effort
+	// messages then pay commit-plane freshness when reliable traffic is
+	// active.
+	DeliverUnified
+)
+
+// Config parameterizes lib1pipe on one host.
+type Config struct {
+	// MTU is the maximum payload bytes per packet.
+	MTU int
+	// RecvWindow is the per-connection receive buffer provision, in
+	// packets; it caps the send window.
+	RecvWindow int
+	// InitCwnd and MaxCwnd bound the DCTCP congestion window (packets).
+	InitCwnd, MaxCwnd float64
+	// DCTCPGain is the g parameter of the DCTCP alpha EWMA.
+	DCTCPGain float64
+	// RTO is the reliable-service retransmission timeout.
+	RTO sim.Time
+	// MaxRetx bounds retransmissions before the sender escalates to the
+	// controller (0 = unbounded).
+	MaxRetx int
+	// SendFailTimeout is how long a best-effort message may stay unACKed
+	// before the send-failure callback fires (loss detection without
+	// retransmission, §2.1).
+	SendFailTimeout sim.Time
+	// BeaconInterval is the host uplink beacon period (§4.2).
+	BeaconInterval sim.Time
+	// UseDataBarriers: with a programmable chip every received packet
+	// carries valid barriers; with switch-CPU or host-delegate processing
+	// only beacons do (§6.2.2).
+	UseDataBarriers bool
+	// Mode selects the delivery interleaving (see DeliveryMode).
+	Mode DeliveryMode
+	// DisableBEAck turns off best-effort ACK generation (halves packet
+	// count when loss detection is not needed, e.g. throughput sweeps).
+	DisableBEAck bool
+	// AckFlush batches end-to-end ACKs: per sender, ACK PSNs accumulate
+	// for up to AckFlush (or AckBatchMax entries) before one coalesced
+	// ACK packet is emitted — the polling-thread batching that keeps ACK
+	// packet rate off the NIC's critical path (§6.1). Zero disables
+	// batching (one ACK per packet).
+	AckFlush    sim.Time
+	AckBatchMax int
+	// DeliveryHoldback artificially lowers the effective barriers by the
+	// given amount, inflating delivery latency and reorder-buffer
+	// occupancy — the knob behind the paper's Fig. 11 overhead sweep.
+	DeliveryHoldback sim.Time
+}
+
+// DefaultConfig matches the paper's deployment parameters.
+func DefaultConfig() Config {
+	return Config{
+		MTU:             1024,
+		RecvWindow:      1024,
+		InitCwnd:        64,
+		MaxCwnd:         1024,
+		DCTCPGain:       1.0 / 16.0,
+		RTO:             20 * sim.Microsecond,
+		MaxRetx:         64,
+		SendFailTimeout: 100 * sim.Microsecond,
+		BeaconInterval:  3 * sim.Microsecond,
+		UseDataBarriers: true,
+		Mode:            DeliverSeparate,
+		AckFlush:        1 * sim.Microsecond,
+		AckBatchMax:     32,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MTU <= 0 {
+		c.MTU = d.MTU
+	}
+	if c.RecvWindow <= 0 {
+		c.RecvWindow = d.RecvWindow
+	}
+	if c.InitCwnd <= 0 {
+		c.InitCwnd = d.InitCwnd
+	}
+	if c.MaxCwnd <= 0 {
+		c.MaxCwnd = d.MaxCwnd
+	}
+	if c.DCTCPGain <= 0 {
+		c.DCTCPGain = d.DCTCPGain
+	}
+	if c.RTO <= 0 {
+		c.RTO = d.RTO
+	}
+	if c.SendFailTimeout <= 0 {
+		c.SendFailTimeout = d.SendFailTimeout
+	}
+	if c.BeaconInterval <= 0 {
+		c.BeaconInterval = d.BeaconInterval
+	}
+	return c
+}
+
+// timer is a light re-armable timer over Wire.After.
+type timer struct {
+	wire  Wire
+	fn    func()
+	epoch uint64
+	armed bool
+}
+
+func newTimer(w Wire, fn func()) *timer { return &timer{wire: w, fn: fn} }
+
+func (t *timer) reset(d sim.Time) {
+	t.epoch++
+	t.armed = true
+	e := t.epoch
+	t.wire.After(d, func() {
+		if t.epoch != e || !t.armed {
+			return
+		}
+		t.armed = false
+		t.fn()
+	})
+}
+
+func (t *timer) stop() {
+	t.epoch++
+	t.armed = false
+}

@@ -1,0 +1,217 @@
+// Package dsm implements the §2.2.1 use case: a distributed shared object
+// store whose remote reads and writes travel through 1Pipe, giving the
+// system a Total Store Ordering (TSO) memory model — write-after-write and
+// independent-read-independent-write hazards cannot occur, and no fences
+// are needed.
+//
+// For contrast, the same store can run over raw (unordered) RPC, where
+// both hazards are observable: a notification can overtake the write it
+// announces (WAW), and two readers can disagree about the order of two
+// writes (IRIW). The experiments count hazard occurrences under both
+// transports.
+package dsm
+
+import (
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// Transport selects how operations travel.
+type Transport uint8
+
+const (
+	// TransportOnePipe orders all operations with best-effort 1Pipe.
+	TransportOnePipe Transport = iota
+	// TransportRaw uses unordered datagrams (multi-path hazards visible).
+	TransportRaw
+)
+
+func (tr Transport) String() string {
+	if tr == TransportOnePipe {
+		return "1Pipe"
+	}
+	return "raw"
+}
+
+// Store is a sharded object store: object o lives on process o % N.
+type Store struct {
+	Transport Transport
+	cl        *core.Cluster
+	nodes     []*node
+}
+
+// node is per-process state: the objects it owns and the continuation
+// table for reads issued by local clients.
+type node struct {
+	st      *Store
+	proc    *core.Proc
+	objects map[uint64]uint64 // object -> value
+	nextID  uint64
+	reads   map[uint64]func(uint64)
+	// onNotify observes application signals.
+	onNotify func(from netsim.ProcID, data uint64)
+}
+
+// write applies a value to an owned object.
+type writeMsg struct {
+	Obj, Val uint64
+}
+
+// readMsg asks the owner for an object's value.
+type readMsg struct {
+	Obj uint64
+	ID  uint64
+}
+type readReply struct {
+	ID, Val uint64
+}
+
+// notifyMsg is an application-level signal (the "A tells B" arrow of the
+// WAW diagram); Data rides along.
+type notifyMsg struct {
+	Data uint64
+}
+
+// New deploys the store over every process of the cluster.
+func New(cl *core.Cluster, tr Transport) *Store {
+	st := &Store{Transport: tr, cl: cl}
+	for _, p := range cl.Procs {
+		n := &node{st: st, proc: p,
+			objects: make(map[uint64]uint64),
+			reads:   make(map[uint64]func(uint64)),
+		}
+		st.nodes = append(st.nodes, n)
+		p.OnDeliver = func(d core.Delivery) { n.handle(d.Src, d.Data) }
+		p.OnRaw = func(src netsim.ProcID, data any) { n.handle(src, data) }
+	}
+	return st
+}
+
+func (st *Store) owner(obj uint64) netsim.ProcID {
+	return netsim.ProcID(obj % uint64(len(st.nodes)))
+}
+
+func (n *node) handle(src netsim.ProcID, data any) {
+	switch m := data.(type) {
+	case writeMsg:
+		n.objects[m.Obj] = m.Val
+	case readMsg:
+		val := n.objects[m.Obj]
+		// Replies never need ordering (§2.2.1): always raw.
+		n.proc.SendRaw(src, readReply{ID: m.ID, Val: val}, 16)
+	case readReply:
+		if fn := n.reads[m.ID]; fn != nil {
+			delete(n.reads, m.ID)
+			fn(m.Val)
+		}
+	case notifyMsg:
+		if n.onNotify != nil {
+			n.onNotify(src, m.Data)
+		}
+	}
+}
+
+// send routes one message per the configured transport.
+func (st *Store) send(src netsim.ProcID, dst netsim.ProcID, data any, size int) {
+	if st.Transport == TransportOnePipe {
+		st.cl.Procs[src].Send([]core.Message{{Dst: dst, Data: data, Size: size}})
+	} else {
+		st.cl.Procs[src].SendRaw(dst, data, size)
+	}
+}
+
+// Write stores val into obj from process src — no fence, no completion
+// wait (the 1Pipe transport guarantees everyone orders it consistently).
+func (st *Store) Write(src netsim.ProcID, obj, val uint64) {
+	st.send(src, st.owner(obj), writeMsg{Obj: obj, Val: val}, 16)
+}
+
+// Read fetches obj's value; done receives it. The read request is ordered
+// (so it serializes after all earlier writes); the reply is raw.
+func (st *Store) Read(src netsim.ProcID, obj uint64, done func(uint64)) {
+	n := st.nodes[src]
+	n.nextID++
+	id := n.nextID
+	n.reads[id] = done
+	st.send(src, st.owner(obj), readMsg{Obj: obj, ID: id}, 16)
+}
+
+// Notify sends an application signal from src to dst, carrying data.
+func (st *Store) Notify(src, dst netsim.ProcID, data uint64) {
+	st.send(src, dst, notifyMsg{Data: data}, 16)
+}
+
+// OnNotify installs dst's notification handler.
+func (st *Store) OnNotify(dst netsim.ProcID, fn func(from netsim.ProcID, data uint64)) {
+	st.nodes[dst].onNotify = fn
+}
+
+// Hazard experiment results.
+type HazardStats struct {
+	Trials     int
+	Violations int
+}
+
+// RunWAW runs the write-after-write experiment of Fig. 2a: A writes object
+// O on host O's owner, then (without waiting) notifies B; B reads O on the
+// notification and checks it sees the new value. Returns the violation
+// count.
+func (st *Store) RunWAW(eng *sim.Engine, trials int, gap sim.Time) *HazardStats {
+	res := &HazardStats{}
+	const obj = 1
+	a, b := netsim.ProcID(2), netsim.ProcID(3)
+	st.OnNotify(b, func(_ netsim.ProcID, want uint64) {
+		st.Read(b, obj, func(got uint64) {
+			res.Trials++
+			if got < want {
+				res.Violations++
+			}
+		})
+	})
+	for i := 0; i < trials; i++ {
+		val := uint64(i + 1)
+		eng.At(eng.Now()+sim.Time(i+1)*gap, func() {
+			st.Write(a, obj, val) // A -> O
+			st.Notify(a, b, val)  // A -> B, immediately: no fence
+		})
+	}
+	return res
+}
+
+// RunIRIW runs the independent-read-independent-write experiment of
+// Fig. 2b with fence-free pipelining on both sides: A writes O1 (data)
+// then immediately O2 (metadata); B issues the read of O2 and then
+// immediately the read of O1, without waiting for the first reply —
+// exactly the behavior 1Pipe makes safe. A violation is seeing new
+// metadata with stale data.
+func (st *Store) RunIRIW(eng *sim.Engine, trials int, gap sim.Time) *HazardStats {
+	res := &HazardStats{}
+	a, b := netsim.ProcID(0), netsim.ProcID(1)
+	const o1, o2 = 6, 7 // distinct owners
+	for i := 0; i < trials; i++ {
+		val := uint64(i + 1)
+		at := eng.Now() + sim.Time(i+1)*gap
+		eng.At(at, func() {
+			st.Write(a, o1, val) // data first
+			st.Write(a, o2, val) // metadata immediately after: no fence
+		})
+		// B pipelines both reads, program order metadata-then-data.
+		eng.At(at, func() {
+			var metaVal, dataVal uint64
+			got := 0
+			check := func() {
+				if got != 2 {
+					return
+				}
+				res.Trials++
+				if dataVal < metaVal {
+					res.Violations++
+				}
+			}
+			st.Read(b, o2, func(v uint64) { metaVal = v; got++; check() })
+			st.Read(b, o1, func(v uint64) { dataVal = v; got++; check() })
+		})
+	}
+	return res
+}

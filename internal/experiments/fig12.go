@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/stats"
+)
+
+// runQueueingProbe measures BE and reliable delivery latency while
+// background flows load the fabric.
+func runQueueingProbe(sc Scale, n int, flowsPerHost int, oversub float64) (be, rel stats.Sample) {
+	cl := deploy(n, func(c *netsim.Config) {
+		c.Mode = netsim.ModeHostDelegate // the paper's Fig. 12 uses host representatives
+		c.Oversub = oversub
+		c.ECNThreshold = 7 * sim.Microsecond
+	}, nil)
+	eng := cl.Net.Eng
+	nh := len(cl.Net.G.Hosts)
+	// Background flows: 4KB message streams between host pairs, pushed
+	// through the 1Pipe transport so DCTCP congestion control paces them
+	// (the paper's background load is TCP). Aggregate offered load is held
+	// near 40% of host bandwidth so the fabric queues without collapsing —
+	// the regime the paper's latency-inflation numbers come from.
+	for h := 0; h < nh; h++ {
+		for f := 0; f < flowsPerHost; f++ {
+			src := netsim.ProcID(h * cl.Net.Cfg.ProcsPerHost)
+			dstHost := (h + nh/2 + f) % nh
+			dst := netsim.ProcID(dstHost * cl.Net.Cfg.ProcsPerHost)
+			gap := sim.Time(800*flowsPerHost) * sim.Nanosecond
+			phase := sim.Time(h*131+f*37) * sim.Nanosecond
+			sim.NewTicker(eng, gap, phase, func() {
+				cl.Procs[src].Send([]core.Message{{Dst: dst, Size: 4096}})
+			})
+		}
+	}
+	for _, p := range cl.Procs {
+		p.OnDeliver = func(d core.Delivery) {
+			if sent, ok := d.Data.(sim.Time); ok {
+				if d.Reliable {
+					rel.Add(float64(eng.Now()-sent) / 1000)
+				} else {
+					be.Add(float64(eng.Now()-sent) / 1000)
+				}
+			}
+		}
+	}
+	probes := 80
+	if sc.MaxProcs <= 16 { // bench scale: keep the sweep affordable
+		probes = 30
+	}
+	for i := 0; i < probes; i++ {
+		i := i
+		at := sc.Warmup + sim.Time(i)*31*sim.Microsecond + sim.Time(i%13)*701*sim.Nanosecond
+		eng.At(at, func() {
+			src := cl.Procs[i%n]
+			dst := netsim.ProcID((i*5 + 7) % n)
+			if int(dst) == i%n {
+				dst = netsim.ProcID((int(dst) + 1) % n)
+			}
+			m := []core.Message{{Dst: dst, Data: eng.Now(), Size: 64}}
+			if i%2 == 0 {
+				src.Send(m)
+			} else {
+				src.SendReliable(m)
+			}
+		})
+	}
+	tail := 3 * sim.Millisecond
+	if sc.MaxProcs <= 16 {
+		tail = 1500 * sim.Microsecond
+	}
+	eng.RunFor(sc.Warmup + sim.Time(probes)*31*sim.Microsecond + tail)
+	return be, rel
+}
+
+// latOrDash formats a latency sample, showing "-" when no probe of that
+// class completed.
+func latOrDash(s *stats.Sample) string {
+	if s.N() == 0 {
+		return "-"
+	}
+	return f1(s.Mean())
+}
+
+// Fig12a regenerates latency vs. background flow count.
+func Fig12a(sc Scale) *Table {
+	t := &Table{
+		ID: "12a", Title: "Delivery latency (us) vs. background flows per host",
+		Columns: []string{"flows", "BE-host", "R-host"},
+	}
+	n := 32
+	if n > sc.MaxProcs {
+		n = sc.MaxProcs
+	}
+	for _, flows := range []int{0, 2, 4, 6, 8, 10} {
+		be, rel := runQueueingProbe(sc, n, flows, 1)
+		t.AddRow(f1(float64(flows)), latOrDash(&be), latOrDash(&rel))
+	}
+	t.Notes = append(t.Notes, "expected shape: latency inflates with background load (queueing); R above BE")
+	return t
+}
+
+// Fig12b regenerates latency vs. core oversubscription ratio.
+func Fig12b(sc Scale) *Table {
+	t := &Table{
+		ID: "12b", Title: "Delivery latency (us) vs. oversubscription ratio",
+		Columns: []string{"oversub", "BE-host", "R-host"},
+	}
+	n := 32
+	if n > sc.MaxProcs {
+		n = sc.MaxProcs
+	}
+	for _, ratio := range []float64{1, 2, 3, 4, 5, 6} {
+		be, rel := runQueueingProbe(sc, n, 2, ratio)
+		t.AddRow(f1(ratio), latOrDash(&be), latOrDash(&rel))
+	}
+	t.Notes = append(t.Notes, "expected shape: latency grows with oversubscription (core queueing)")
+	return t
+}

@@ -1,0 +1,277 @@
+// Package livenet runs the same lib1pipe state machines as the simulator,
+// but in real time: hosts hang off a software switch that performs barrier
+// aggregation (§4.1) over in-process links, and all protocol state is
+// driven by one event-loop goroutine fed by channels and wall-clock
+// timers. It exists to demonstrate that internal/core is genuinely
+// substrate-independent — the examples and cmd/onepipe-demo run on it with
+// real elapsed microseconds.
+//
+// The fabric is a single-switch star: every host connects to one software
+// switch that keeps a barrier register per host link and relays the
+// aggregated minimum, which is exactly the one-rack slice of the Clos
+// model (deeper hierarchies compose the same aggregation step).
+package livenet
+
+import (
+	"sync"
+	"time"
+
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// Config parameterizes the live fabric.
+type Config struct {
+	Hosts        int
+	ProcsPerHost int
+	// LinkDelay is the emulated one-way host-switch latency.
+	LinkDelay time.Duration
+	// BeaconInterval is T_beacon in wall-clock time.
+	BeaconInterval time.Duration
+	// Endpoint overrides the lib1pipe configuration.
+	Endpoint *core.Config
+}
+
+// DefaultConfig returns a small fabric with millisecond-scale timing
+// (coarse enough for wall-clock timers to be meaningful).
+func DefaultConfig(hosts, procsPerHost int) Config {
+	return Config{
+		Hosts:          hosts,
+		ProcsPerHost:   procsPerHost,
+		LinkDelay:      200 * time.Microsecond,
+		BeaconInterval: 1 * time.Millisecond,
+	}
+}
+
+// Net is a running live fabric.
+type Net struct {
+	cfg   Config
+	loop  chan func()
+	done  chan struct{}
+	wg    sync.WaitGroup
+	start time.Time
+
+	hosts []*core.Host
+	procs []*core.Proc
+
+	// Switch state: per-host-uplink barrier registers.
+	regBE, regC []sim.Time
+	outBE, outC sim.Time
+
+	stopOnce sync.Once
+}
+
+// hostWire adapts one host to the loop: Now is wall-clock nanoseconds
+// since fabric start (all hosts share one clock — perfectly synchronized,
+// the degenerate case of the clock model).
+type hostWire struct {
+	n    *Net
+	host int
+}
+
+func (w hostWire) Now() sim.Time { return sim.Time(time.Since(w.n.start)) }
+
+func (w hostWire) After(d sim.Time, fn func()) {
+	time.AfterFunc(time.Duration(d), func() { w.n.post(fn) })
+}
+
+func (w hostWire) Send(pkt *netsim.Packet) {
+	// Host -> switch link with propagation delay.
+	n := w.n
+	host := w.host
+	time.AfterFunc(n.cfg.LinkDelay, func() {
+		n.post(func() { n.switchReceive(host, pkt) })
+	})
+}
+
+// New starts the fabric: the loop goroutine, per-host lib1pipe runtimes,
+// and the switch beacon ticker.
+func New(cfg Config) *Net {
+	if cfg.ProcsPerHost <= 0 {
+		cfg.ProcsPerHost = 1
+	}
+	n := &Net{
+		cfg:   cfg,
+		loop:  make(chan func(), 4096),
+		done:  make(chan struct{}),
+		start: time.Now(),
+		regBE: make([]sim.Time, cfg.Hosts),
+		regC:  make([]sim.Time, cfg.Hosts),
+	}
+	n.wg.Add(1)
+	go n.run()
+
+	ecfg := core.DefaultConfig()
+	if cfg.Endpoint != nil {
+		ecfg = *cfg.Endpoint
+	}
+	ecfg.BeaconInterval = sim.Time(cfg.BeaconInterval)
+	ecfg.UseDataBarriers = true
+	// Wall-clock timers are coarse: scale protocol timeouts with the link
+	// delay.
+	ecfg.RTO = 20 * sim.Time(cfg.LinkDelay)
+	ecfg.SendFailTimeout = 100 * sim.Time(cfg.LinkDelay)
+
+	ready := make(chan struct{})
+	n.post(func() {
+		for h := 0; h < cfg.Hosts; h++ {
+			host := core.NewHost(h, hostWire{n: n, host: h}, ecfg)
+			n.hosts = append(n.hosts, host)
+			host.Start()
+			for p := 0; p < cfg.ProcsPerHost; p++ {
+				id := netsim.ProcID(h*cfg.ProcsPerHost + p)
+				n.procs = append(n.procs, host.AddProc(id))
+			}
+		}
+		close(ready)
+	})
+	<-ready
+
+	// Switch beacon ticker: relay the aggregated barrier to every host.
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		tick := time.NewTicker(cfg.BeaconInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				n.post(n.relayBeacons)
+			case <-n.done:
+				return
+			}
+		}
+	}()
+	return n
+}
+
+// run is the single goroutine that owns all protocol state.
+func (n *Net) run() {
+	defer n.wg.Done()
+	for {
+		select {
+		case fn := <-n.loop:
+			fn()
+		case <-n.done:
+			// Drain what is already queued, then exit.
+			for {
+				select {
+				case fn := <-n.loop:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+func (n *Net) post(fn func()) {
+	select {
+	case n.loop <- fn:
+	case <-n.done:
+	}
+}
+
+// switchReceive executes eq. 4.1 for a packet arriving on a host uplink
+// and forwards it toward its destination host.
+func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
+	if pkt.BarrierBE > n.regBE[fromHost] {
+		n.regBE[fromHost] = pkt.BarrierBE
+	}
+	if pkt.BarrierC > n.regC[fromHost] {
+		n.regC[fromHost] = pkt.BarrierC
+	}
+	switch pkt.Kind {
+	case netsim.KindBeacon, netsim.KindCommit:
+		return // consumed: registers updated
+	}
+	be, c := n.aggregate()
+	pkt.BarrierBE, pkt.BarrierC = be, c
+	dstHost := int(pkt.Dst) / n.cfg.ProcsPerHost
+	if dstHost < 0 || dstHost >= len(n.hosts) {
+		return
+	}
+	time.AfterFunc(n.cfg.LinkDelay, func() {
+		n.post(func() { n.hosts[dstHost].HandlePacket(pkt) })
+	})
+}
+
+func (n *Net) aggregate() (be, c sim.Time) {
+	minBE, minC := n.regBE[0], n.regC[0]
+	for i := 1; i < len(n.regBE); i++ {
+		if n.regBE[i] < minBE {
+			minBE = n.regBE[i]
+		}
+		if n.regC[i] < minC {
+			minC = n.regC[i]
+		}
+	}
+	if minBE > n.outBE {
+		n.outBE = minBE
+	}
+	if minC > n.outC {
+		n.outC = minC
+	}
+	return n.outBE, n.outC
+}
+
+// relayBeacons pushes the aggregated barrier to every host downlink.
+func (n *Net) relayBeacons() {
+	be, c := n.aggregate()
+	for h := range n.hosts {
+		h := h
+		pkt := &netsim.Packet{Kind: netsim.KindBeacon, BarrierBE: be, BarrierC: c, Size: netsim.BeaconBytes}
+		time.AfterFunc(n.cfg.LinkDelay, func() {
+			n.post(func() { n.hosts[h].HandlePacket(pkt) })
+		})
+	}
+}
+
+// NumProcs returns the process count.
+func (n *Net) NumProcs() int { return len(n.procs) }
+
+// Do runs fn on the fabric's event loop and waits for it — the only safe
+// way to touch endpoint state from outside.
+func (n *Net) Do(fn func()) {
+	done := make(chan struct{})
+	n.post(func() {
+		fn()
+		close(done)
+	})
+	select {
+	case <-done:
+	case <-n.done:
+	}
+}
+
+// Proc returns process p's endpoint. Interact with it via Do, or from
+// delivery callbacks (which already run on the loop).
+func (n *Net) Proc(p int) *core.Proc { return n.procs[p] }
+
+// Send issues a scattering from process p on the loop.
+func (n *Net) Send(p int, reliable bool, msgs []core.Message) error {
+	var err error
+	n.Do(func() {
+		if reliable {
+			err = n.procs[p].SendReliable(msgs)
+		} else {
+			err = n.procs[p].Send(msgs)
+		}
+	})
+	return err
+}
+
+// Stop shuts the fabric down.
+func (n *Net) Stop() {
+	n.stopOnce.Do(func() {
+		n.Do(func() {
+			for _, h := range n.hosts {
+				h.Stop()
+			}
+		})
+		close(n.done)
+	})
+	n.wg.Wait()
+}

@@ -1,0 +1,127 @@
+package netsim
+
+import (
+	"testing"
+
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+func TestCommitPlaneGatedUntilResume(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ControllerManagedCommit = true
+	n := testNet(t, cfg)
+	var barrierC sim.Time
+	n.AttachHost(7, func(p *Packet) {
+		if p.BarrierC > barrierC {
+			barrierC = p.BarrierC
+		}
+	})
+	n.Eng.RunUntil(300 * sim.Microsecond)
+	n.G.KillNode(n.G.Host(0))
+	n.Eng.RunUntil(600 * sim.Microsecond)
+	// BE scanner removed the link, but the commit plane must still be
+	// gated by the dead link's last register.
+	gated := n.CommitGatedLinks()
+	if len(gated) == 0 {
+		t.Fatal("no commit-gated links after host death")
+	}
+	stuck := barrierC
+	if stuck > 320*sim.Microsecond {
+		t.Fatalf("commit barrier %v advanced past the failure", stuck)
+	}
+	for _, lid := range gated {
+		n.ResumeCommitPlane(lid)
+	}
+	n.Eng.RunUntil(900 * sim.Microsecond)
+	if barrierC <= stuck {
+		t.Fatalf("commit barrier did not advance after Resume: %v", barrierC)
+	}
+	if len(n.CommitGatedLinks()) != 0 {
+		t.Fatal("gated links remain after Resume")
+	}
+}
+
+func TestBEPlaneRecoversWithoutController(t *testing.T) {
+	cfg := smallCfg() // ControllerManagedCommit = false
+	n := testNet(t, cfg)
+	var barrierC sim.Time
+	n.AttachHost(7, func(p *Packet) {
+		if p.BarrierC > barrierC {
+			barrierC = p.BarrierC
+		}
+	})
+	n.Eng.RunUntil(300 * sim.Microsecond)
+	n.G.KillNode(n.G.Host(0))
+	n.Eng.RunUntil(800 * sim.Microsecond)
+	// Decentralized mode: both planes resume after the scanner timeout.
+	if lag := 800*sim.Microsecond - barrierC; lag > 10*cfg.BeaconInterval {
+		t.Fatalf("commit barrier lag %v without controller gating", lag)
+	}
+	if len(n.CommitGatedLinks()) != 0 {
+		t.Fatal("links stayed commit-gated in decentralized mode")
+	}
+}
+
+func TestLinkRegistersExposed(t *testing.T) {
+	cfg := smallCfg()
+	n := testNet(t, cfg)
+	n.Eng.RunUntil(100 * sim.Microsecond)
+	uplink := n.G.Out[n.G.Host(0)][0]
+	be, c := n.LinkRegisters(uplink)
+	if be == 0 || c == 0 {
+		t.Fatalf("uplink registers never advanced: be=%v c=%v", be, c)
+	}
+	if be < 90*sim.Microsecond {
+		t.Fatalf("uplink BE register %v too stale", be)
+	}
+}
+
+func TestNodeBarrierMonotoneAcrossLinkChurn(t *testing.T) {
+	// Kill and revive a host link; the downstream switch's published
+	// barrier must never decrease (§4.2 suspension rule).
+	cfg := smallCfg()
+	n := testNet(t, cfg)
+	tor := n.G.Links[n.G.Out[n.G.Host(0)][0]].To
+	var lastBE, lastC sim.Time
+	check := sim.NewTicker(n.Eng, sim.Microsecond, 0, func() {
+		be, c := n.NodeBarriers(tor)
+		if be < lastBE || c < lastC {
+			t.Errorf("switch barrier regressed: be %v->%v c %v->%v", lastBE, be, lastC, c)
+		}
+		lastBE, lastC = be, c
+	})
+	defer check.Stop()
+	n.Eng.RunUntil(200 * sim.Microsecond)
+	n.G.KillNode(n.G.Host(0))
+	n.Eng.RunUntil(500 * sim.Microsecond)
+	n.G.Revive()
+	n.Eng.RunUntil(900 * sim.Microsecond)
+}
+
+func TestStatsAccounting(t *testing.T) {
+	cfg := smallCfg()
+	n := testNet(t, cfg)
+	n.AttachHost(1, func(*Packet) {})
+	n.SendFromHost(0, &Packet{Kind: KindData, Src: 0, Dst: 1, MsgTS: 1, BarrierBE: 1, Size: 128})
+	n.Eng.RunUntil(200 * sim.Microsecond)
+	if n.Stats.PktsByKind[KindData] == 0 {
+		t.Fatal("data packets not counted")
+	}
+	if n.Stats.BytesByKind[KindData] == 0 {
+		t.Fatal("data bytes not counted")
+	}
+	if n.Stats.Delivered == 0 {
+		t.Fatal("deliveries not counted")
+	}
+}
+
+func TestDisableBeacons(t *testing.T) {
+	cfg := DefaultConfig(topology.Testbed(), 1)
+	cfg.DisableBeacons = true
+	n := New(cfg)
+	n.Eng.RunUntil(1 * sim.Millisecond)
+	if n.Stats.PktsByKind[KindBeacon] != 0 {
+		t.Fatalf("%d beacons sent with beacons disabled", n.Stats.PktsByKind[KindBeacon])
+	}
+}

@@ -1,0 +1,578 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"onepipe/internal/clock"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// Stats counts network-level events for the overhead experiments.
+type Stats struct {
+	PktsByKind  [8]uint64
+	BytesByKind [8]uint64
+	CorruptDrop uint64
+	QueueDrop   uint64
+	DeadDrop    uint64 // dropped on dead links/nodes
+	ECNMarks    uint64
+	Delivered   uint64
+}
+
+// BeaconBandwidthFraction returns the fraction of total bytes that were
+// beacons (Fig. 13b).
+func (s *Stats) BeaconBandwidthFraction() float64 {
+	var total uint64
+	for _, b := range s.BytesByKind {
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(s.BytesByKind[KindBeacon]) / float64(total)
+}
+
+type linkState struct {
+	id   topology.LinkID
+	kind topology.LinkKind
+	from topology.NodeID
+	to   topology.NodeID
+	bpns float64 // bytes per nanosecond; 0 = infinite
+	prop sim.Time
+	busy sim.Time // egress busy-until
+	last sim.Time // last transmit completion (idle detection)
+	// lastTxBE/C track the freshest barriers already carried on this link
+	// (by stamped data in chip mode, or by earlier beacons), so a beacon
+	// adding no information is suppressed — the §4.2 "beacons on idle
+	// links" rule generalized to sporadically-busy links.
+	lastTxBE sim.Time
+	lastTxC  sim.Time
+	// lastArrival enforces FIFO under jitter.
+	lastArrival sim.Time
+	// Beacon relay state for the egress side.
+	beaconPending bool
+	lastBeaconTx  sim.Time
+	// Receiver-side per-input-link state (the switch registers of §4.1).
+	regBE  sim.Time
+	regC   sim.Time
+	lastRx sim.Time
+	// alive gates the best-effort plane: the decentralized dead-link
+	// scanner clears it (§4.2). aliveC gates the commit plane: when the
+	// commit plane is controller-managed, it stays true until the
+	// controller's Resume step so that Discard/Recall complete before
+	// commit barriers advance past the failure timestamp (§5.2).
+	alive  bool
+	aliveC bool
+}
+
+type nodeState struct {
+	id  topology.NodeID
+	in  []topology.LinkID
+	out []topology.LinkID
+	// outBE/outC are the node's monotonic barrier outputs; clamping them
+	// non-decreasing implements the §4.2 rule that a switch suspends
+	// updates when a (re)added link's barrier lags.
+	outBE sim.Time
+	outC  sim.Time
+	// lastRelayBE/C record the barriers most recently relayed in beacons,
+	// so a relay is scheduled only when aggregation actually advanced.
+	lastRelayBE sim.Time
+	lastRelayC  sim.Time
+}
+
+// Network is the simulated data center network.
+type Network struct {
+	Eng    *sim.Engine
+	G      *topology.Graph
+	Cfg    Config
+	Clocks []*clock.Clock // one per host
+	Stats  Stats
+
+	links []linkState
+	nodes []nodeState
+	// hostRx receives every packet (including beacons) delivered to a host.
+	hostRx []func(*Packet)
+	rng    *rand.Rand
+
+	// OnLinkDead, if set, is invoked when a switch's dead-link scanner
+	// removes an input link — the controller's failure Detect signal.
+	OnLinkDead func(l topology.Link, lastCommit sim.Time)
+
+	tickers []*sim.Ticker
+}
+
+// New builds the network, its clocks and its beacon machinery.
+func New(cfg Config) *Network {
+	if cfg.ProcsPerHost <= 0 {
+		cfg.ProcsPerHost = 1
+	}
+	if cfg.Oversub < 1 {
+		cfg.Oversub = 1
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	g := topology.NewClos(cfg.Topo)
+	n := &Network{
+		Eng: eng, G: g, Cfg: cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed + 7919)),
+		hostRx: make([]func(*Packet), len(g.Hosts)),
+	}
+	for i := 0; i < len(g.Hosts); i++ {
+		n.Clocks = append(n.Clocks, clock.New(eng, eng.Rand(), cfg.Clock))
+	}
+	n.links = make([]linkState, len(g.Links))
+	for i, l := range g.Links {
+		ls := &n.links[i]
+		ls.id, ls.kind, ls.from, ls.to = l.ID, l.Kind, l.From, l.To
+		ls.prop = n.propOf(l.Kind)
+		ls.bpns = n.bandwidthOf(l.Kind)
+		ls.alive = true
+		ls.aliveC = true
+	}
+	n.nodes = make([]nodeState, len(g.Nodes))
+	for i := range g.Nodes {
+		n.nodes[i] = nodeState{id: topology.NodeID(i), in: g.In[i], out: g.Out[i]}
+	}
+	if !cfg.DisableBeacons {
+		n.startSwitchBeacons()
+	}
+	n.startDeadLinkScanner()
+	return n
+}
+
+func (n *Network) propOf(k topology.LinkKind) sim.Time {
+	switch k {
+	case topology.LinkHostUp, topology.LinkTorHostDown:
+		return n.Cfg.PropHost
+	case topology.LinkTorSpineUp, topology.LinkSpineTorDown:
+		return n.Cfg.PropTorSpine
+	case topology.LinkSpineCoreUp, topology.LinkCoreSpineDown:
+		return n.Cfg.PropSpineCore
+	case topology.LinkLoopback:
+		return n.Cfg.PropLoopback
+	}
+	return 0
+}
+
+func (n *Network) bandwidthOf(k topology.LinkKind) float64 {
+	const bytesPerNsPerGbps = 1.0 / 8.0
+	topo := n.Cfg.Topo
+	switch k {
+	case topology.LinkHostUp, topology.LinkTorHostDown:
+		return n.Cfg.HostGbps * bytesPerNsPerGbps
+	case topology.LinkLoopback:
+		return 0 // infinite: virtual link inside the chip
+	case topology.LinkTorSpineUp, topology.LinkSpineTorDown:
+		// Full-bisection trunk (§7.1: "no oversubscription"): each ToR's
+		// aggregate uplink capacity equals its host-facing capacity,
+		// split across the pod's spines. Oversub shrinks it.
+		trunk := n.Cfg.FabricGbps * float64(topo.HostsPerRack) / float64(topo.SpinesPerPod)
+		return trunk * bytesPerNsPerGbps / n.Cfg.Oversub
+	default: // spine <-> core
+		trunk := n.Cfg.FabricGbps * float64(topo.RacksPerPod*topo.HostsPerRack) / float64(topo.Cores)
+		return trunk * bytesPerNsPerGbps / n.Cfg.Oversub
+	}
+}
+
+// NumProcs returns the total number of processes.
+func (n *Network) NumProcs() int { return len(n.G.Hosts) * n.Cfg.ProcsPerHost }
+
+// HostOfProc maps a process to its host index.
+func (n *Network) HostOfProc(p ProcID) int { return int(p) / n.Cfg.ProcsPerHost }
+
+// ClockOfProc returns the host clock a process stamps messages with.
+func (n *Network) ClockOfProc(p ProcID) *clock.Clock { return n.Clocks[n.HostOfProc(p)] }
+
+// AttachHost registers the receive callback for a host. Every packet
+// destined to any process on the host — including beacons arriving on its
+// ToR downlink — is delivered to rx.
+func (n *Network) AttachHost(host int, rx func(*Packet)) { n.hostRx[host] = rx }
+
+// uplink returns the host's single uplink.
+func (n *Network) uplink(host int) *linkState {
+	out := n.G.Out[n.G.Host(host)]
+	return &n.links[out[0]]
+}
+
+// SendFromHost injects a packet from a host into the network, charging host
+// processing delay then the uplink. Beacon and commit packets go to the ToR
+// (Dst ignored); data goes toward Dst's host.
+func (n *Network) SendFromHost(host int, pkt *Packet) {
+	pkt.SentAt = n.Eng.Now()
+	n.Eng.After(n.Cfg.HostDelay, func() {
+		n.transmit(n.uplink(host), pkt)
+	})
+}
+
+// SendFromProc is SendFromHost keyed by source process.
+func (n *Network) SendFromProc(p ProcID, pkt *Packet) {
+	n.SendFromHost(n.HostOfProc(p), pkt)
+}
+
+// transmit places a packet on a link's egress queue.
+func (n *Network) transmit(l *linkState, pkt *Packet) {
+	if n.G.LinkDead(l.id) {
+		n.Stats.DeadDrop++
+		return
+	}
+	now := n.Eng.Now()
+	start := now
+	if l.busy > start {
+		start = l.busy
+	}
+	qdelay := start - now
+	if n.Cfg.QueueLimit > 0 && qdelay > n.Cfg.QueueLimit {
+		n.Stats.QueueDrop++
+		return
+	}
+	if n.Cfg.ECNThreshold > 0 && qdelay > n.Cfg.ECNThreshold {
+		pkt.ECN = true
+		n.Stats.ECNMarks++
+	}
+	ser := sim.Time(0)
+	if l.bpns > 0 {
+		ser = sim.Time(float64(pkt.Size) / l.bpns)
+	}
+	l.busy = start + ser
+	l.last = l.busy
+	if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip {
+		if pkt.BarrierBE > l.lastTxBE {
+			l.lastTxBE = pkt.BarrierBE
+		}
+		if pkt.BarrierC > l.lastTxC {
+			l.lastTxC = pkt.BarrierC
+		}
+	}
+	n.Stats.PktsByKind[pkt.Kind]++
+	n.Stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
+	if n.Cfg.LossRate > 0 && n.rng.Float64() < n.Cfg.LossRate {
+		n.Stats.CorruptDrop++
+		return // corrupted in flight; bandwidth already consumed
+	}
+	arrive := l.busy + l.prop
+	if j := n.Cfg.Jitter; j > 0 {
+		// Bursty delay variance: mostly a small wiggle, occasionally a
+		// straggler several times the nominal jitter (transient queueing
+		// behind a burst) — the delay asymmetry that makes multi-path
+		// ordering hazards real (§2.2.1).
+		extra := sim.Time(n.rng.Int63n(int64(j)/3 + 1))
+		if n.rng.Intn(20) == 0 {
+			extra += sim.Time(n.rng.Int63n(int64(j) * 4))
+		}
+		arrive += extra
+		// FIFO clamp: a jittered packet never overtakes its predecessor
+		// on the same link (the barrier invariant rests on this).
+		if arrive < l.lastArrival {
+			arrive = l.lastArrival
+		}
+		l.lastArrival = arrive
+	}
+	n.Eng.At(arrive, func() { n.receive(l, pkt) })
+}
+
+// receive handles packet arrival at the downstream end of a link.
+func (n *Network) receive(l *linkState, pkt *Packet) {
+	if n.G.NodeDead(l.to) {
+		n.Stats.DeadDrop++
+		return
+	}
+	now := n.Eng.Now()
+	l.lastRx = now
+	l.alive = true
+	l.aliveC = true
+	// Update the per-input-link barrier registers (§4.1). With a
+	// programmable chip every packet carries per-link-valid barriers
+	// (rewritten each hop). With switch-CPU or host-delegate processing
+	// the chip forwards data untouched, so data barriers are only valid
+	// on the first (host) link; registers advance from beacons and commit
+	// messages alone, matching §6.2.2.
+	if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip {
+		if pkt.BarrierBE > l.regBE {
+			l.regBE = pkt.BarrierBE
+		}
+		if pkt.BarrierC > l.regC {
+			l.regC = pkt.BarrierC
+		}
+	}
+
+	dst := n.G.Node(l.to)
+	if dst.Kind == topology.KindHost {
+		n.Stats.Delivered++
+		host := n.hostIndexOf(l.to)
+		if rx := n.hostRx[host]; rx != nil {
+			n.Eng.After(n.Cfg.HostDelay, func() { rx(pkt) })
+		}
+		return
+	}
+
+	// Aggregation advanced? Relay updated barriers downstream. With
+	// synchronized beacon phases all inputs update near-simultaneously, so
+	// this fires about once per interval per node and keeps the idle
+	// barrier lag near one beacon interval end to end rather than one
+	// interval per hop.
+	node := &n.nodes[l.to]
+	be, c := n.nodeBarriers(node)
+	if !n.Cfg.DisableBeacons && !n.Cfg.DisableEventRelay && (be > node.lastRelayBE || c > node.lastRelayC) {
+		n.scheduleRelays(node)
+	}
+
+	switch pkt.Kind {
+	case KindBeacon, KindCommit:
+		// Hop-by-hop: consumed here; the barrier they carried now lives in
+		// the input-link registers and will propagate via this switch's
+		// own egress stamping and beacons.
+		return
+	}
+
+	// Forward toward the destination host. The chip incarnation stamps
+	// the aggregated barriers here, at the fixed-latency pipeline's entry:
+	// every packet of this logical switch passes one uniform pipeline, so
+	// stamp order equals wire order on every egress — the property the
+	// per-link barrier promise rests on.
+	if n.Cfg.Mode == ModeChip {
+		pkt.BarrierBE, pkt.BarrierC = be, c
+	}
+	dstHost := n.G.Host(n.HostOfProc(pkt.Dst))
+	hops := n.G.NextHops(l.to, dstHost)
+	if len(hops) == 0 {
+		n.Stats.DeadDrop++
+		return
+	}
+	var out topology.LinkID
+	if len(hops) == 1 {
+		out = hops[0]
+	} else if n.Cfg.FlowECMP {
+		h := uint32(pkt.Src)*2654435761 + uint32(pkt.Dst)*40503
+		out = hops[h%uint32(len(hops))]
+	} else {
+		out = hops[n.rng.Intn(len(hops))]
+	}
+	// A uniform pipeline latency per logical switch: a physical switch is
+	// two logical halves (Fig. 3), each charging half the physical
+	// forwarding delay. Uniformity — including for loopback-entered
+	// packets — is load-bearing: different in-switch latencies would let
+	// a later-stamped packet overtake an earlier one onto the same
+	// egress, breaking barrier monotonicity on the link.
+	n.Eng.After(n.Cfg.SwitchFwdDelay, func() { n.transmit(&n.links[out], pkt) })
+}
+
+func (n *Network) hostIndexOf(id topology.NodeID) int {
+	// Hosts are created first, so node ID == host index.
+	return int(id)
+}
+
+// nodeBarriers computes the per-plane min over live input links, clamped
+// non-decreasing.
+func (n *Network) nodeBarriers(node *nodeState) (be, c sim.Time) {
+	firstBE, firstC := true, true
+	var minBE, minC sim.Time
+	for _, lid := range node.in {
+		l := &n.links[lid]
+		// Best-effort plane: a link removed by the scanner or dead in the
+		// topology stops contributing. Commit plane: the last register of
+		// a dead link keeps gating the min until the controller's Resume
+		// step clears aliveC — otherwise commit barriers could pass the
+		// failure timestamp before Discard/Recall complete (§5.2).
+		if l.alive && !n.G.LinkDead(lid) {
+			if firstBE || l.regBE < minBE {
+				minBE = l.regBE
+				firstBE = false
+			}
+		}
+		if l.aliveC {
+			if firstC || l.regC < minC {
+				minC = l.regC
+				firstC = false
+			}
+		}
+	}
+	if !firstBE && minBE > node.outBE {
+		node.outBE = minBE
+	}
+	if !firstC && minC > node.outC {
+		node.outC = minC
+	}
+	return node.outBE, node.outC
+}
+
+// NodeBarriers exposes a switch's current aggregated barriers (used by the
+// controller to read last-commit state during failure handling).
+func (n *Network) NodeBarriers(id topology.NodeID) (be, c sim.Time) {
+	return n.nodeBarriers(&n.nodes[id])
+}
+
+// LinkRegisters exposes an input link's barrier registers.
+func (n *Network) LinkRegisters(id topology.LinkID) (be, c sim.Time) {
+	return n.links[id].regBE, n.links[id].regC
+}
+
+// beaconProcDelay is the per-hop cost of generating a barrier beacon in the
+// current incarnation: a pipeline pass for the chip, CPU processing for the
+// switch CPU, and a switch-host round trip plus host processing for the
+// delegate (§6.2).
+func (n *Network) beaconProcDelay() sim.Time {
+	switch n.Cfg.Mode {
+	case ModeSwitchCPU:
+		return n.Cfg.CPUBeaconDelay
+	case ModeHostDelegate:
+		return n.Cfg.HostDelegateDelay
+	default:
+		return n.Cfg.SwitchFwdDelay
+	}
+}
+
+// scheduleRelays arms a beacon on every egress link of a switch whose
+// aggregated barrier advanced, rate-limited to one beacon per link per
+// interval. Each relay is a two-step event: at trigger time the barrier
+// stamp is captured — the same instant data packets passing through would
+// be stamped — and the beacon enters the egress queue one processing delay
+// later, so a beacon can never overtake a data packet whose timestamp its
+// barrier does not cover. A rate-limit deferral moves the trigger itself,
+// so the stamp is always fresh at capture.
+func (n *Network) scheduleRelays(node *nodeState) {
+	for _, lid := range node.out {
+		n.armRelay(node, &n.links[lid])
+	}
+}
+
+func (n *Network) armRelay(node *nodeState, ls *linkState) {
+	if ls.beaconPending || n.G.LinkDead(ls.id) {
+		return
+	}
+	ls.beaconPending = true
+	proc := n.beaconProcDelay()
+	trigger := n.Eng.Now()
+	if earliest := ls.lastBeaconTx + n.Cfg.BeaconInterval - proc; earliest > trigger {
+		trigger = earliest
+	}
+	n.Eng.At(trigger, func() {
+		be, c := n.nodeBarriers(node)
+		n.Eng.After(proc, func() { n.fireBeacon(node, ls, be, c) })
+	})
+}
+
+// fireBeacon emits a beacon carrying barriers captured at trigger time on
+// one egress link. In chip mode a link that recently carried stamped
+// traffic needs no beacon (§4.2: beacons are for idle links only).
+func (n *Network) fireBeacon(node *nodeState, ls *linkState, be, c sim.Time) {
+	ls.beaconPending = false
+	if n.G.LinkDead(ls.id) || n.G.NodeDead(node.id) {
+		return
+	}
+	now := n.Eng.Now()
+	if node.lastRelayBE < be {
+		node.lastRelayBE = be
+	}
+	if node.lastRelayC < c {
+		node.lastRelayC = c
+	}
+	if be <= ls.lastTxBE && c <= ls.lastTxC {
+		return // traffic on this link already carried these barriers
+	}
+	ls.lastBeaconTx = now
+	n.transmit(ls, &Packet{Kind: KindBeacon, BarrierBE: be, BarrierC: c, Size: BeaconBytes})
+}
+
+// startSwitchBeacons arms the fallback ticker per switch egress link: if no
+// beacon (or, for the chip, no stamped traffic) was sent for a full
+// interval, one is generated. The event-driven relay path above carries the
+// common case; the ticker guarantees liveness after beacon loss or when
+// upstream barriers stall.
+func (n *Network) startSwitchBeacons() {
+	for i := range n.links {
+		ls := &n.links[i]
+		if n.G.Node(ls.from).Kind == topology.KindHost {
+			continue // host beacons are generated by the attached 1Pipe endpoint
+		}
+		node := &n.nodes[ls.from]
+		tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
+			if n.G.NodeDead(ls.from) {
+				return
+			}
+			// Pure liveness fallback: stay out of the way of the
+			// event-driven relay wave, which self-clocks at one beacon
+			// per interval — competing with it would steal its
+			// rate-limit slot and add a full interval of barrier lag.
+			// (With event relays ablated away, the ticker IS the relay
+			// and runs every interval, as the paper describes.)
+			holdoff := 2 * n.Cfg.BeaconInterval
+			if n.Cfg.DisableEventRelay {
+				holdoff = n.Cfg.BeaconInterval
+			}
+			if n.Eng.Now()-ls.lastBeaconTx < holdoff {
+				return
+			}
+			n.armRelay(node, ls)
+		})
+		n.tickers = append(n.tickers, tk)
+	}
+}
+
+// startDeadLinkScanner arms the per-switch input-link timeout (§4.2):
+// after DeadLinkBeacons silent intervals an input link is removed from
+// aggregation and the controller hook is notified once.
+func (n *Network) startDeadLinkScanner() {
+	if n.Cfg.DeadLinkBeacons <= 0 || n.Cfg.DisableBeacons {
+		return
+	}
+	timeout := sim.Time(n.Cfg.DeadLinkBeacons) * n.Cfg.BeaconInterval
+	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
+		now := n.Eng.Now()
+		for i := range n.links {
+			l := &n.links[i]
+			if !l.alive || n.G.Node(l.to).Kind == topology.KindHost {
+				continue
+			}
+			if now-l.lastRx > timeout {
+				l.alive = false
+				if !n.Cfg.ControllerManagedCommit {
+					l.aliveC = false
+				}
+				// Removing the slowest input usually advances the min:
+				// relay the unblocked barrier immediately (§4.2).
+				n.scheduleRelays(&n.nodes[l.to])
+				if n.OnLinkDead != nil {
+					n.OnLinkDead(n.G.Link(l.id), l.regC)
+				}
+			}
+		}
+	})
+	n.tickers = append(n.tickers, tk)
+}
+
+// CommitGatedLinks lists input links that the best-effort scanner has
+// removed but that still gate the commit plane, awaiting the controller's
+// Resume step.
+func (n *Network) CommitGatedLinks() []topology.LinkID {
+	var out []topology.LinkID
+	for i := range n.links {
+		l := &n.links[i]
+		if !l.alive && l.aliveC {
+			out = append(out, l.id)
+		}
+	}
+	return out
+}
+
+// ResumeCommitPlane removes a dead input link from commit-plane aggregation.
+// The controller calls this in its Resume step, after every correct process
+// has finished Discard, Recall and its failure callbacks (§5.2).
+func (n *Network) ResumeCommitPlane(id topology.LinkID) {
+	l := &n.links[id]
+	l.aliveC = false
+	n.scheduleRelays(&n.nodes[l.to])
+}
+
+// Stop halts all periodic activity so the event queue can drain.
+func (n *Network) Stop() {
+	for _, tk := range n.tickers {
+		tk.Stop()
+	}
+	n.tickers = nil
+}
+
+// String summarizes the network for logs.
+func (n *Network) String() string {
+	return fmt.Sprintf("netsim{hosts=%d procs=%d mode=%s beacon=%v}",
+		len(n.G.Hosts), n.NumProcs(), n.Cfg.Mode, n.Cfg.BeaconInterval)
+}

@@ -1,0 +1,160 @@
+// Package netsim simulates the 1Pipe data center network: FIFO links with
+// bandwidth, propagation delay, ECN marking and corruption loss; switches
+// with per-input-link barrier registers executing the hierarchical
+// aggregation of equation 4.1; beacon generation on idle links; and
+// decentralized dead-link detection.
+//
+// The package deliberately separates the two planes of the paper: the data
+// plane forwards packets unmodified along ECMP up-down paths, while the
+// "control plane" is just the two barrier fields (best-effort and commit)
+// that switches rewrite in flight.
+package netsim
+
+import (
+	"fmt"
+
+	"onepipe/internal/sim"
+)
+
+// ProcID identifies a process. Processes are numbered 0..NumProcs-1 and
+// mapped onto hosts round-robin blocks of Config.ProcsPerHost.
+type ProcID int32
+
+// Kind is the packet opcode.
+type Kind uint8
+
+const (
+	// KindData carries (a fragment of) an application message.
+	KindData Kind = iota
+	// KindAck is the end-to-end acknowledgment of a data packet.
+	KindAck
+	// KindNak reports an unrecoverable ordering drop or a PSN gap to the
+	// sender.
+	KindNak
+	// KindBeacon is a hop-by-hop barrier carrier generated on idle links
+	// (§4.2); it has no payload and is consumed by the next hop.
+	KindBeacon
+	// KindCommit is a reliable-1Pipe commit message: it carries the
+	// sender's commit barrier to its neighbor switch and is consumed
+	// there (§5.1).
+	KindCommit
+	// KindRecall asks a receiver to discard buffered messages of an
+	// aborted scattering (§5.2).
+	KindRecall
+	// KindRecallAck acknowledges a recall.
+	KindRecallAck
+	// KindCtrl is controller <-> host coordination traffic.
+	KindCtrl
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	case KindNak:
+		return "nak"
+	case KindBeacon:
+		return "beacon"
+	case KindCommit:
+		return "commit"
+	case KindRecall:
+		return "recall"
+	case KindRecallAck:
+		return "recallack"
+	case KindCtrl:
+		return "ctrl"
+	}
+	return "?"
+}
+
+// HeaderBytes is the 1Pipe header overhead per packet: three 48-bit
+// timestamps (message, best-effort barrier, commit barrier), a PSN, an
+// opcode and an end-of-message flag (§6.1).
+const HeaderBytes = 24
+
+// BeaconBytes is the wire size of a beacon packet: 1Pipe header plus
+// minimal UDP/IP/Ethernet framing.
+const BeaconBytes = HeaderBytes + 42
+
+// Packet is the unit the network forwards. The simulator passes a single
+// *Packet instance along the path, rewriting its barrier fields the way a
+// programmable switch rewrites header fields.
+type Packet struct {
+	Kind     Kind
+	Src, Dst ProcID
+
+	// MsgTS is the message timestamp assigned by the sender host clock;
+	// all packets of one scattering share it. Immutable in flight.
+	MsgTS sim.Time
+	// BarrierBE is the best-effort barrier: a lower bound on the message
+	// timestamp of any future packet arriving on the same link. Rewritten
+	// by every chip-mode switch.
+	BarrierBE sim.Time
+	// BarrierC is the commit barrier of reliable 1Pipe, aggregated from
+	// KindCommit messages only.
+	BarrierC sim.Time
+
+	// Reliable marks reliable-1Pipe traffic (delivered by commit barrier
+	// after 2PC) as opposed to best-effort traffic (delivered by the BE
+	// barrier, never retransmitted).
+	Reliable bool
+	// PSN is the per-(src,dst,class) packet sequence number used for loss
+	// detection and defragmentation.
+	PSN uint32
+	// FragIdx is the fragment's index within its message, so reassembly
+	// can locate the message's first PSN (PSN - FragIdx) without relying
+	// on global PSN contiguity — a lost best-effort packet must not block
+	// later messages.
+	FragIdx uint16
+	// EndOfMsg marks the final fragment of a message.
+	EndOfMsg bool
+	// Size is the wire size in bytes, including HeaderBytes.
+	Size int
+	// ECN is set by a switch when the egress queue exceeds the marking
+	// threshold; DCTCP congestion control reads it from the UD header.
+	ECN bool
+
+	// Payload carries the application message by reference; the simulator
+	// never inspects it.
+	Payload any
+
+	// SentAt is the true (simulation) time the packet left the sender,
+	// for latency accounting.
+	SentAt sim.Time
+}
+
+func (p *Packet) String() string {
+	return fmt.Sprintf("%s %d->%d ts=%v be=%v c=%v psn=%d", p.Kind, p.Src, p.Dst, p.MsgTS, p.BarrierBE, p.BarrierC, p.PSN)
+}
+
+// Mode selects the in-network processing incarnation (§6.2).
+type Mode uint8
+
+const (
+	// ModeChip models a programmable switching chip: barriers are
+	// aggregated and rewritten on every forwarded packet with no extra
+	// delay.
+	ModeChip Mode = iota
+	// ModeSwitchCPU models aggregation on the switch CPU: data packets
+	// are forwarded unmodified; barriers propagate only in periodic
+	// beacons that cost CPU processing delay at every hop.
+	ModeSwitchCPU
+	// ModeHostDelegate models delegating switch processing to a
+	// representative end host: like ModeSwitchCPU but each hop adds the
+	// switch-to-host RTT plus host processing delay.
+	ModeHostDelegate
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeChip:
+		return "chip"
+	case ModeSwitchCPU:
+		return "switchcpu"
+	case ModeHostDelegate:
+		return "hostdelegate"
+	}
+	return "?"
+}

@@ -1,0 +1,145 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// All of the network simulation in this repository is driven by a single
+// Engine: entities schedule closures at virtual timestamps, and the engine
+// executes them in (time, sequence) order. Determinism is guaranteed by the
+// FIFO tie-break on equal timestamps and by the seeded random source, so a
+// simulation run is exactly reproducible from its seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the
+// simulation. It is the same unit as the 48-bit message timestamps in the
+// 1Pipe packet header.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String formats the time with microsecond granularity for logs.
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+}
+
+// Seconds converts a virtual duration to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Micros converts a virtual duration to floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	at  Time
+	seq uint64 // tie-break: FIFO among events with equal time
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+
+// Engine is a discrete-event simulation loop.
+//
+// The zero value is not usable; construct with NewEngine.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	rng    *rand.Rand
+	// Executed counts events run so far; useful as a progress and
+	// runaway-loop diagnostic.
+	Executed uint64
+}
+
+// NewEngine returns an engine at time zero with a deterministic random
+// source derived from seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic random source. All randomness in a
+// simulation (loss, jitter, workload) must come from here to keep runs
+// reproducible.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event runs next, after already-pending
+// events at the current time).
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// Step executes the next pending event, advancing virtual time. It reports
+// whether an event was executed.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.Executed++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue is empty.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then sets the
+// current time to the deadline. Events scheduled beyond the deadline remain
+// queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.events) > 0 && e.events.peek().at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// RunFor advances the simulation by d nanoseconds of virtual time.
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// NextEventTime returns the timestamp of the earliest queued event and
+// whether one exists.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events.peek().at, true
+}

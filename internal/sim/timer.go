@@ -1,0 +1,89 @@
+package sim
+
+// Timer is a cancelable, re-armable one-shot timer on the simulation clock.
+// It is the building block for retransmission timeouts, beacon intervals,
+// and dead-link detection in the network model.
+type Timer struct {
+	eng   *Engine
+	fn    func()
+	epoch uint64 // invalidates in-flight events from earlier arms
+	armed bool
+	at    Time
+}
+
+// NewTimer creates a timer that invokes fn when it fires. The timer starts
+// disarmed.
+func NewTimer(eng *Engine, fn func()) *Timer {
+	return &Timer{eng: eng, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d nanoseconds from now, replacing any
+// previously scheduled firing.
+func (t *Timer) Reset(d Time) {
+	t.epoch++
+	t.armed = true
+	t.at = t.eng.Now() + d
+	epoch := t.epoch
+	t.eng.After(d, func() {
+		if t.epoch != epoch || !t.armed {
+			return
+		}
+		t.armed = false
+		t.fn()
+	})
+}
+
+// Stop disarms the timer. It is safe to call on a disarmed timer.
+func (t *Timer) Stop() {
+	t.epoch++
+	t.armed = false
+}
+
+// Armed reports whether the timer has a pending firing.
+func (t *Timer) Armed() bool { return t.armed }
+
+// Deadline returns the virtual time at which the timer will fire. Only
+// meaningful while Armed.
+func (t *Timer) Deadline() Time { return t.at }
+
+// Ticker invokes fn every interval until stopped. Used for periodic beacon
+// generation and controller heartbeats.
+type Ticker struct {
+	timer    *Timer
+	interval Time
+	stopped  bool
+}
+
+// NewTicker starts a ticker with the given interval. The first tick fires
+// one full interval from now. If phase is non-zero the first tick is aligned
+// so ticks land at times ≡ phase (mod interval); the paper synchronizes
+// beacon emission times across hosts this way (§4.2).
+func NewTicker(eng *Engine, interval, phase Time, fn func()) *Ticker {
+	tk := &Ticker{interval: interval}
+	tk.timer = NewTimer(eng, func() {
+		if tk.stopped {
+			return
+		}
+		fn()
+		if !tk.stopped {
+			tk.timer.Reset(tk.interval)
+		}
+	})
+	first := interval
+	if phase > 0 {
+		now := eng.Now()
+		next := ((now-phase)/interval+1)*interval + phase
+		if next <= now {
+			next += interval
+		}
+		first = next - now
+	}
+	tk.timer.Reset(first)
+	return tk
+}
+
+// Stop halts the ticker; no further ticks fire.
+func (tk *Ticker) Stop() {
+	tk.stopped = true
+	tk.timer.Stop()
+}

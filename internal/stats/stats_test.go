@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Percentile(50) != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("empty sample should report zeros")
+	}
+}
+
+func TestMeanAndStddev(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if !approx(s.Mean(), 5) {
+		t.Fatalf("mean = %v, want 5", s.Mean())
+	}
+	if !approx(s.Stddev(), 2) {
+		t.Fatalf("stddev = %v, want 2", s.Stddev())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); !approx(got, 1) {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := s.Percentile(100); !approx(got, 100) {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 0.01 {
+		t.Fatalf("median = %v, want 50.5", got)
+	}
+	if got := s.Percentile(95); got < 94 || got > 97 {
+		t.Fatalf("p95 = %v out of range", got)
+	}
+}
+
+func TestMinMaxAfterSortAndBefore(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{5, 1, 9, 3} {
+		s.Add(x)
+	}
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+	s.Percentile(50) // forces sort
+	if s.Min() != 1 || s.Max() != 9 {
+		t.Fatalf("after sort min/max = %v/%v", s.Min(), s.Max())
+	}
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Fatalf("min after post-sort Add = %v, want 0", s.Min())
+	}
+}
+
+// Property: percentile is monotone in p and bounded by [min, max].
+func TestPercentileMonotoneProperty(t *testing.T) {
+	f := func(raw []int16, p1, p2 uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		a, b := float64(p1%101), float64(p2%101)
+		if a > b {
+			a, b = b, a
+		}
+		pa, pb := s.Percentile(a), s.Percentile(b)
+		return pa <= pb+1e-9 && pa >= s.Min()-1e-9 && pb <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundedProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, r := range raw {
+			s.Add(float64(r))
+		}
+		return s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median of a sorted odd-length sample equals its middle element.
+func TestMedianExactOddProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw)%2 == 0 {
+			raw = append(raw, 0)
+		}
+		var s Sample
+		vals := make([]float64, len(raw))
+		for i, r := range raw {
+			vals[i] = float64(r)
+			s.Add(float64(r))
+		}
+		sort.Float64s(vals)
+		return approx(s.Median(), vals[len(vals)/2])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,317 @@
+// Package topology builds the routing graph of a multi-rooted Clos data
+// center network as used by 1Pipe.
+//
+// Following Figure 3 of the paper, every physical switch is split into two
+// logical switches — one for the uplink direction and one for the downlink
+// direction — connected by a virtual "loopback" link that carries traffic
+// turning around at that switch. With this split the routing graph of
+// shortest up-down paths is a DAG, which is the property barrier-timestamp
+// aggregation relies on: barriers propagate strictly downstream and every
+// receiver's barrier transitively covers every sender.
+package topology
+
+import "fmt"
+
+// NodeID identifies a logical node (host, up-switch, down-switch, or core).
+type NodeID int32
+
+// LinkID identifies a directed link.
+type LinkID int32
+
+// Kind classifies logical nodes.
+type Kind uint8
+
+const (
+	// KindHost is an end host (both a sender and a receiver leaf).
+	KindHost Kind = iota
+	// KindSwitchUp is the uplink half of a physical switch.
+	KindSwitchUp
+	// KindSwitchDown is the downlink half of a physical switch.
+	KindSwitchDown
+	// KindCore is a core (top-layer) switch; it only turns traffic down,
+	// so it is a single logical node.
+	KindCore
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindHost:
+		return "host"
+	case KindSwitchUp:
+		return "up"
+	case KindSwitchDown:
+		return "down"
+	case KindCore:
+		return "core"
+	}
+	return "?"
+}
+
+// LinkKind classifies directed links; the network model assigns bandwidth
+// and delay per kind (e.g. reduced uplink bandwidth models oversubscription).
+type LinkKind uint8
+
+const (
+	// LinkHostUp connects a host to its ToR's uplink half.
+	LinkHostUp LinkKind = iota
+	// LinkTorSpineUp connects a ToR uplink half to a spine uplink half.
+	LinkTorSpineUp
+	// LinkSpineCoreUp connects a spine uplink half to a core.
+	LinkSpineCoreUp
+	// LinkCoreSpineDown connects a core to a spine downlink half.
+	LinkCoreSpineDown
+	// LinkSpineTorDown connects a spine downlink half to a ToR downlink half.
+	LinkSpineTorDown
+	// LinkTorHostDown connects a ToR downlink half to a host.
+	LinkTorHostDown
+	// LinkLoopback is the virtual link between the two halves of one
+	// physical switch.
+	LinkLoopback
+)
+
+// Node is a logical node in the routing DAG.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+	// Phys groups the two halves of a physical switch (and a host with
+	// itself): logical nodes with equal Phys fail together.
+	Phys int
+	// Pod is the pod index for ToR/spine switches and hosts; -1 for cores.
+	Pod int
+	// Rack is the rack index for hosts and ToRs; -1 otherwise.
+	Rack int
+}
+
+// Link is a directed link in the routing DAG.
+type Link struct {
+	ID       LinkID
+	From, To NodeID
+	Kind     LinkKind
+}
+
+// ClosConfig sizes a 3-layer Clos network. The paper's testbed is
+// {Pods: 2, RacksPerPod: 2, HostsPerRack: 8, SpinesPerPod: 2, Cores: 2} —
+// 32 servers, 4 ToR + 4 spine + 2 core switches.
+type ClosConfig struct {
+	Pods         int
+	RacksPerPod  int
+	HostsPerRack int
+	SpinesPerPod int
+	Cores        int
+}
+
+// Testbed returns the paper's 32-server, 10-switch configuration.
+func Testbed() ClosConfig {
+	return ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 8, SpinesPerPod: 2, Cores: 2}
+}
+
+// Validate reports a descriptive error for a non-positive dimension.
+func (c ClosConfig) Validate() error {
+	if c.Pods <= 0 || c.RacksPerPod <= 0 || c.HostsPerRack <= 0 || c.SpinesPerPod <= 0 || c.Cores <= 0 {
+		return fmt.Errorf("topology: all ClosConfig dimensions must be positive: %+v", c)
+	}
+	return nil
+}
+
+// NumHosts returns the total host count.
+func (c ClosConfig) NumHosts() int { return c.Pods * c.RacksPerPod * c.HostsPerRack }
+
+// Graph is an immutable routing DAG plus mutable liveness state used for
+// failure experiments.
+type Graph struct {
+	Config ClosConfig
+	Nodes  []Node
+	Links  []Link
+	// Out and In hold the link IDs leaving and entering each node.
+	Out [][]LinkID
+	In  [][]LinkID
+	// Hosts lists host node IDs in rack-major order.
+	Hosts []NodeID
+
+	// tors[pod][rack] -> physical index into upOf/downOf
+	torUp, torDown     [][]NodeID
+	spineUp, spineDown [][]NodeID
+	cores              []NodeID
+
+	nodeDead []bool
+	linkDead []bool
+
+	// peerHalf maps an up-half to its down-half and vice versa.
+	peerHalf []NodeID
+}
+
+// NewClos builds the routing DAG for the given configuration. It panics on
+// an invalid configuration (construction is programmer-controlled).
+func NewClos(c ClosConfig) *Graph {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Graph{Config: c}
+
+	addNode := func(k Kind, name string, phys, pod, rack int) NodeID {
+		id := NodeID(len(g.Nodes))
+		g.Nodes = append(g.Nodes, Node{ID: id, Kind: k, Name: name, Phys: phys, Pod: pod, Rack: rack})
+		return id
+	}
+	phys := 0
+
+	// Hosts.
+	for p := 0; p < c.Pods; p++ {
+		for r := 0; r < c.RacksPerPod; r++ {
+			for h := 0; h < c.HostsPerRack; h++ {
+				rack := p*c.RacksPerPod + r
+				id := addNode(KindHost, fmt.Sprintf("h%d", len(g.Hosts)), phys, p, rack)
+				g.Hosts = append(g.Hosts, id)
+				phys++
+			}
+		}
+	}
+	// ToRs (two halves each).
+	g.torUp = make([][]NodeID, c.Pods)
+	g.torDown = make([][]NodeID, c.Pods)
+	for p := 0; p < c.Pods; p++ {
+		g.torUp[p] = make([]NodeID, c.RacksPerPod)
+		g.torDown[p] = make([]NodeID, c.RacksPerPod)
+		for r := 0; r < c.RacksPerPod; r++ {
+			rack := p*c.RacksPerPod + r
+			g.torUp[p][r] = addNode(KindSwitchUp, fmt.Sprintf("tor%d.up", rack), phys, p, rack)
+			g.torDown[p][r] = addNode(KindSwitchDown, fmt.Sprintf("tor%d.down", rack), phys, p, rack)
+			phys++
+		}
+	}
+	// Spines.
+	g.spineUp = make([][]NodeID, c.Pods)
+	g.spineDown = make([][]NodeID, c.Pods)
+	for p := 0; p < c.Pods; p++ {
+		g.spineUp[p] = make([]NodeID, c.SpinesPerPod)
+		g.spineDown[p] = make([]NodeID, c.SpinesPerPod)
+		for s := 0; s < c.SpinesPerPod; s++ {
+			g.spineUp[p][s] = addNode(KindSwitchUp, fmt.Sprintf("spine%d.%d.up", p, s), phys, p, -1)
+			g.spineDown[p][s] = addNode(KindSwitchDown, fmt.Sprintf("spine%d.%d.down", p, s), phys, p, -1)
+			phys++
+		}
+	}
+	// Cores.
+	for i := 0; i < c.Cores; i++ {
+		g.cores = append(g.cores, addNode(KindCore, fmt.Sprintf("core%d", i), phys, -1, -1))
+		phys++
+	}
+
+	g.Out = make([][]LinkID, len(g.Nodes))
+	g.In = make([][]LinkID, len(g.Nodes))
+	g.peerHalf = make([]NodeID, len(g.Nodes))
+	for i := range g.peerHalf {
+		g.peerHalf[i] = -1
+	}
+	addLink := func(from, to NodeID, k LinkKind) {
+		id := LinkID(len(g.Links))
+		g.Links = append(g.Links, Link{ID: id, From: from, To: to, Kind: k})
+		g.Out[from] = append(g.Out[from], id)
+		g.In[to] = append(g.In[to], id)
+	}
+
+	for p := 0; p < c.Pods; p++ {
+		for r := 0; r < c.RacksPerPod; r++ {
+			up, down := g.torUp[p][r], g.torDown[p][r]
+			g.peerHalf[up], g.peerHalf[down] = down, up
+			addLink(up, down, LinkLoopback)
+			rack := p*c.RacksPerPod + r
+			for h := 0; h < c.HostsPerRack; h++ {
+				host := g.Hosts[rack*c.HostsPerRack+h]
+				addLink(host, up, LinkHostUp)
+				addLink(down, host, LinkTorHostDown)
+			}
+			for s := 0; s < c.SpinesPerPod; s++ {
+				addLink(up, g.spineUp[p][s], LinkTorSpineUp)
+				addLink(g.spineDown[p][s], down, LinkSpineTorDown)
+			}
+		}
+		for s := 0; s < c.SpinesPerPod; s++ {
+			sup, sdown := g.spineUp[p][s], g.spineDown[p][s]
+			g.peerHalf[sup], g.peerHalf[sdown] = sdown, sup
+			addLink(sup, sdown, LinkLoopback)
+			for _, core := range g.cores {
+				addLink(sup, core, LinkSpineCoreUp)
+				addLink(core, sdown, LinkCoreSpineDown)
+			}
+		}
+	}
+
+	g.nodeDead = make([]bool, len(g.Nodes))
+	g.linkDead = make([]bool, len(g.Links))
+	return g
+}
+
+// Host returns the node ID of the i-th host.
+func (g *Graph) Host(i int) NodeID { return g.Hosts[i] }
+
+// Node returns the node with the given ID.
+func (g *Graph) Node(id NodeID) Node { return g.Nodes[id] }
+
+// Link returns the link with the given ID.
+func (g *Graph) Link(id LinkID) Link { return g.Links[id] }
+
+// PeerHalf returns the other logical half of a physical switch, or -1 for
+// hosts and cores.
+func (g *Graph) PeerHalf(id NodeID) NodeID { return g.peerHalf[id] }
+
+// KillNode marks a logical node dead. Killing either half of a physical
+// switch via KillPhys is the usual entry point.
+func (g *Graph) KillNode(id NodeID) { g.nodeDead[id] = true }
+
+// KillPhys marks every logical node of a physical device dead.
+func (g *Graph) KillPhys(phys int) {
+	for i := range g.Nodes {
+		if g.Nodes[i].Phys == phys {
+			g.nodeDead[i] = true
+		}
+	}
+}
+
+// KillLink marks a directed link dead.
+func (g *Graph) KillLink(id LinkID) { g.linkDead[id] = true }
+
+// Revive clears all death marks.
+func (g *Graph) Revive() {
+	for i := range g.nodeDead {
+		g.nodeDead[i] = false
+	}
+	for i := range g.linkDead {
+		g.linkDead[i] = false
+	}
+}
+
+// NodeDead reports whether a node is marked dead.
+func (g *Graph) NodeDead(id NodeID) bool { return g.nodeDead[id] }
+
+// LinkDead reports whether a link or either endpoint is dead.
+func (g *Graph) LinkDead(id LinkID) bool {
+	l := g.Links[id]
+	return g.linkDead[id] || g.nodeDead[l.From] || g.nodeDead[l.To]
+}
+
+// LinkBetween returns the link from one node to another, or -1.
+func (g *Graph) LinkBetween(from, to NodeID) LinkID {
+	for _, lid := range g.Out[from] {
+		if g.Links[lid].To == to {
+			return lid
+		}
+	}
+	return -1
+}
+
+// NumSwitchHops returns the number of switch hops on the up-down path
+// between two hosts: 1 within a rack, 3 within a pod, 5 across pods. The
+// paper quotes these same counts for its testbed (§7.2).
+func (g *Graph) NumSwitchHops(a, b NodeID) int {
+	na, nb := g.Nodes[a], g.Nodes[b]
+	switch {
+	case na.Rack == nb.Rack:
+		return 1
+	case na.Pod == nb.Pod:
+		return 3
+	default:
+		return 5
+	}
+}

@@ -1,0 +1,281 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTestbedDimensions(t *testing.T) {
+	g := NewClos(Testbed())
+	if got := len(g.Hosts); got != 32 {
+		t.Fatalf("hosts = %d, want 32", got)
+	}
+	// 4 ToR + 4 spine = 8 physical switches -> 16 logical halves, + 2 cores.
+	ups, downs, cores := 0, 0, 0
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindSwitchUp:
+			ups++
+		case KindSwitchDown:
+			downs++
+		case KindCore:
+			cores++
+		}
+	}
+	if ups != 8 || downs != 8 || cores != 2 {
+		t.Fatalf("ups/downs/cores = %d/%d/%d, want 8/8/2", ups, downs, cores)
+	}
+}
+
+func TestValidateRejectsBadConfig(t *testing.T) {
+	bad := ClosConfig{Pods: 0, RacksPerPod: 1, HostsPerRack: 1, SpinesPerPod: 1, Cores: 1}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("Validate accepted zero pods")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClos did not panic on invalid config")
+		}
+	}()
+	NewClos(bad)
+}
+
+func TestRoutingIsDAG(t *testing.T) {
+	for _, c := range []ClosConfig{
+		Testbed(),
+		{Pods: 1, RacksPerPod: 1, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1},
+		{Pods: 3, RacksPerPod: 2, HostsPerRack: 4, SpinesPerPod: 3, Cores: 4},
+	} {
+		g := NewClos(c)
+		if !g.IsDAG() {
+			t.Fatalf("config %+v: routing graph is not a DAG", c)
+		}
+	}
+}
+
+func TestPathTerminatesAtDestination(t *testing.T) {
+	g := NewClos(Testbed())
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		src := g.Host(rng.Intn(len(g.Hosts)))
+		dst := g.Host(rng.Intn(len(g.Hosts)))
+		if src == dst {
+			continue
+		}
+		path := g.Path(src, dst, rng.Intn)
+		if len(path) == 0 {
+			t.Fatalf("no path %v -> %v", src, dst)
+		}
+		if g.Links[path[len(path)-1]].To != dst {
+			t.Fatalf("path does not end at dst")
+		}
+		cur := src
+		for _, lid := range path {
+			if g.Links[lid].From != cur {
+				t.Fatalf("path link %d not contiguous", lid)
+			}
+			cur = g.Links[lid].To
+			if g.Nodes[cur].Kind == KindHost && cur != dst {
+				t.Fatalf("path traverses interior host %v", cur)
+			}
+		}
+	}
+}
+
+func TestPathHopCounts(t *testing.T) {
+	g := NewClos(Testbed())
+	cases := []struct {
+		a, b      int
+		wantLinks int // links = switch hops + 1
+	}{
+		{0, 1, 3},   // same rack: host,tor.up,tor.down,host -> but loopback counts as a link: host->up, up->down, down->host = 3 links, 1 switch
+		{0, 8, 7},   // same pod, different rack: h,up,spine.up,spine.down,tor.down,h = host->torup, torup->spineup, spineup->spinedown, spinedown->tordown, tordown->h = 5? plus loopbacks...
+		{0, 16, 11}, // cross pod
+	}
+	// Recompute expected precisely: loopback links count.
+	// same rack: h->tor.up, tor.up->tor.down (loopback), tor.down->h = 3
+	// same pod:  h->tor.up, tor.up->spine.up, spine.up->spine.down (loopback),
+	//            spine.down->tor.down, tor.down->h = 5
+	// cross pod: h->tor.up, tor.up->spine.up, spine.up->core, core->spine.down,
+	//            spine.down->tor.down, tor.down->h = 6
+	cases[1].wantLinks = 5
+	cases[2].wantLinks = 6
+	rng := rand.New(rand.NewSource(2))
+	for _, tc := range cases {
+		path := g.Path(g.Host(tc.a), g.Host(tc.b), rng.Intn)
+		if len(path) != tc.wantLinks {
+			t.Errorf("path h%d->h%d has %d links, want %d", tc.a, tc.b, len(path), tc.wantLinks)
+		}
+	}
+}
+
+func TestNumSwitchHops(t *testing.T) {
+	g := NewClos(Testbed())
+	if got := g.NumSwitchHops(g.Host(0), g.Host(1)); got != 1 {
+		t.Errorf("same rack hops = %d, want 1", got)
+	}
+	if got := g.NumSwitchHops(g.Host(0), g.Host(8)); got != 3 {
+		t.Errorf("same pod hops = %d, want 3", got)
+	}
+	if got := g.NumSwitchHops(g.Host(0), g.Host(16)); got != 5 {
+		t.Errorf("cross pod hops = %d, want 5", got)
+	}
+}
+
+func TestECMPSpreadsAcrossSpines(t *testing.T) {
+	g := NewClos(Testbed())
+	src, dst := g.Host(0), g.Host(8) // different racks, same pod
+	hops := g.NextHops(g.Links[g.Out[src][0]].To, dst)
+	if len(hops) != Testbed().SpinesPerPod {
+		t.Fatalf("ECMP fanout at ToR = %d, want %d", len(hops), Testbed().SpinesPerPod)
+	}
+}
+
+func TestKillLinkReroutes(t *testing.T) {
+	g := NewClos(Testbed())
+	src, dst := g.Host(0), g.Host(16) // cross pod: uses a core
+	rng := rand.New(rand.NewSource(3))
+	// Kill one core: paths must avoid it but still exist.
+	corePhys := -1
+	for _, n := range g.Nodes {
+		if n.Kind == KindCore {
+			corePhys = n.Phys
+			break
+		}
+	}
+	g.KillPhys(corePhys)
+	for trial := 0; trial < 50; trial++ {
+		path := g.Path(src, dst, rng.Intn)
+		if path == nil {
+			t.Fatal("no path after killing one core")
+		}
+		for _, lid := range path {
+			l := g.Links[lid]
+			if g.Nodes[l.From].Phys == corePhys || g.Nodes[l.To].Phys == corePhys {
+				t.Fatal("path uses dead core")
+			}
+		}
+	}
+	g.Revive()
+	if g.NodeDead(g.Hosts[0]) {
+		t.Fatal("Revive did not clear marks")
+	}
+}
+
+func TestUnreachableAfterToRDeath(t *testing.T) {
+	g := NewClos(Testbed())
+	// Killing host 0's ToR disconnects the whole rack.
+	torPhys := g.Nodes[g.Links[g.Out[g.Host(0)][0]].To].Phys
+	g.KillPhys(torPhys)
+	if g.Reachable(g.Host(8), g.Host(0)) {
+		t.Fatal("host behind dead ToR should be unreachable")
+	}
+	if !g.Reachable(g.Host(8), g.Host(16)) {
+		t.Fatal("unrelated hosts should stay reachable")
+	}
+	if g.Path(g.Host(8), g.Host(0), nil) != nil {
+		t.Fatal("Path should be nil to unreachable host")
+	}
+}
+
+func TestReachableSelfAndDead(t *testing.T) {
+	g := NewClos(Testbed())
+	if !g.Reachable(g.Host(0), g.Host(0)) {
+		t.Fatal("host not reachable from itself")
+	}
+	g.KillNode(g.Host(0))
+	if g.Reachable(g.Host(1), g.Host(0)) || g.Reachable(g.Host(0), g.Host(1)) {
+		t.Fatal("dead host should be unreachable in both directions")
+	}
+}
+
+func TestPeerHalf(t *testing.T) {
+	g := NewClos(Testbed())
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindSwitchUp, KindSwitchDown:
+			peer := g.PeerHalf(n.ID)
+			if peer < 0 || g.PeerHalf(peer) != n.ID {
+				t.Fatalf("peerHalf not an involution for %s", n.Name)
+			}
+			if g.Nodes[peer].Phys != n.Phys {
+				t.Fatalf("peer halves differ in Phys for %s", n.Name)
+			}
+		case KindHost, KindCore:
+			if g.PeerHalf(n.ID) != -1 {
+				t.Fatalf("%s should have no peer half", n.Name)
+			}
+		}
+	}
+}
+
+func TestLinkBetween(t *testing.T) {
+	g := NewClos(Testbed())
+	h := g.Host(0)
+	tor := g.Links[g.Out[h][0]].To
+	if g.LinkBetween(h, tor) < 0 {
+		t.Fatal("missing host->tor link")
+	}
+	if g.LinkBetween(h, g.Host(1)) != -1 {
+		t.Fatal("found nonexistent host->host link")
+	}
+}
+
+// Property: NumSwitchHops matches the physical switches traversed by any
+// concrete ECMP path (logical nodes collapse onto their Phys id).
+func TestHopCountMatchesPathProperty(t *testing.T) {
+	g := NewClos(Testbed())
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 300; trial++ {
+		a := g.Host(rng.Intn(len(g.Hosts)))
+		b := g.Host(rng.Intn(len(g.Hosts)))
+		if a == b {
+			continue
+		}
+		path := g.Path(a, b, rng.Intn)
+		phys := make(map[int]bool)
+		for _, lid := range path {
+			to := g.Nodes[g.Links[lid].To]
+			if to.Kind != KindHost {
+				phys[to.Phys] = true
+			}
+		}
+		if got, want := len(phys), g.NumSwitchHops(a, b); got != want {
+			t.Fatalf("%v->%v: path crosses %d physical switches, NumSwitchHops says %d", a, b, got, want)
+		}
+	}
+}
+
+// Property: every host pair in arbitrary (small) Clos configs is connected
+// by a valid path of the expected parity, and the graph is always a DAG.
+func TestAllPairsConnectedProperty(t *testing.T) {
+	f := func(p, r, h, s, c uint8) bool {
+		cfg := ClosConfig{
+			Pods:         int(p%3) + 1,
+			RacksPerPod:  int(r%3) + 1,
+			HostsPerRack: int(h%3) + 1,
+			SpinesPerPod: int(s%3) + 1,
+			Cores:        int(c%3) + 1,
+		}
+		g := NewClos(cfg)
+		if !g.IsDAG() {
+			return false
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := range g.Hosts {
+			for j := range g.Hosts {
+				if i == j {
+					continue
+				}
+				if g.Path(g.Hosts[i], g.Hosts[j], rng.Intn) == nil {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,189 @@
+package udpnet
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/wire"
+)
+
+// Switch is the software switch of the UDP fabric: one UDP socket that
+// keeps a barrier register pair per registered host uplink, stamps
+// forwarded packets with the aggregated minimum (eq. 4.1), relays beacons,
+// and optionally injects loss.
+type Switch struct {
+	cfg   Config
+	conn  *net.UDPConn
+	epoch time.Time
+
+	mu      sync.Mutex
+	addrs   map[int]*net.UDPAddr // host id -> address
+	regBE   map[int]sim.Time
+	regC    map[int]sim.Time
+	outBE   sim.Time
+	outC    sim.Time
+	rng     *rand.Rand
+	closed  bool
+	stopped chan struct{}
+	wg      sync.WaitGroup
+
+	// Forwarded / Dropped count data-plane packets (statistics).
+	Forwarded, Dropped uint64
+}
+
+func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	s := &Switch{
+		cfg: cfg, conn: conn, epoch: epoch,
+		addrs:   make(map[int]*net.UDPAddr),
+		regBE:   make(map[int]sim.Time),
+		regC:    make(map[int]sim.Time),
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+		stopped: make(chan struct{}),
+	}
+	s.wg.Add(2)
+	go s.readLoop()
+	go s.beaconLoop()
+	return s, nil
+}
+
+// Addr returns the switch's UDP address.
+func (s *Switch) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+func (s *Switch) registered() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.addrs)
+}
+
+func (s *Switch) readLoop() {
+	defer s.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return
+		}
+		pkt, payload, derr := wire.Decode(buf[:n], sim.Time(time.Since(s.epoch)))
+		if derr != nil {
+			continue
+		}
+		s.handle(pkt, payload, buf[:n], from)
+	}
+}
+
+func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAddr) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	srcHost := int(pkt.Src) / s.cfg.ProcsPerHost
+
+	// Registration heartbeat.
+	if pkt.Kind == netsim.KindCtrl && bytes.Equal(payload, registerPayload) {
+		s.addrs[srcHost] = from
+		return
+	}
+
+	// Update this uplink's registers (§4.1).
+	if pkt.BarrierBE > s.regBE[srcHost] {
+		s.regBE[srcHost] = pkt.BarrierBE
+	}
+	if pkt.BarrierC > s.regC[srcHost] {
+		s.regC[srcHost] = pkt.BarrierC
+	}
+	switch pkt.Kind {
+	case netsim.KindBeacon, netsim.KindCommit:
+		return // consumed
+	}
+
+	if s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate {
+		s.Dropped++
+		return
+	}
+	be, c := s.aggregateLocked()
+	dstHost := int(pkt.Dst) / s.cfg.ProcsPerHost
+	dst := s.addrs[dstHost]
+	if dst == nil {
+		s.Dropped++
+		return
+	}
+	// Restamp the barrier fields in the raw datagram (the chip path:
+	// rewrite two header fields, forward the rest untouched).
+	pkt.BarrierBE, pkt.BarrierC = be, c
+	out := wire.Encode(pkt, payload)
+	s.Forwarded++
+	s.conn.WriteToUDP(out, dst)
+}
+
+func (s *Switch) aggregateLocked() (sim.Time, sim.Time) {
+	first := true
+	var minBE, minC sim.Time
+	for h := range s.addrs {
+		be, c := s.regBE[h], s.regC[h]
+		if first {
+			minBE, minC = be, c
+			first = false
+		} else {
+			if be < minBE {
+				minBE = be
+			}
+			if c < minC {
+				minC = c
+			}
+		}
+	}
+	if !first {
+		if minBE > s.outBE {
+			s.outBE = minBE
+		}
+		if minC > s.outC {
+			s.outC = minC
+		}
+	}
+	return s.outBE, s.outC
+}
+
+func (s *Switch) beaconLoop() {
+	defer s.wg.Done()
+	tick := time.NewTicker(s.cfg.BeaconInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			be, c := s.aggregateLocked()
+			b := wire.Encode(&netsim.Packet{Kind: netsim.KindBeacon, BarrierBE: be, BarrierC: c}, nil)
+			for _, addr := range s.addrs {
+				s.conn.WriteToUDP(b, addr)
+			}
+			s.mu.Unlock()
+		case <-s.stopped:
+			return
+		}
+	}
+}
+
+func (s *Switch) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.stopped)
+	}
+	s.mu.Unlock()
+	s.conn.Close()
+	s.wg.Wait()
+}

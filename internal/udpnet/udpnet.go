@@ -1,0 +1,250 @@
+// Package udpnet deploys 1Pipe over real UDP sockets: every host is a UDP
+// endpoint running the unmodified lib1pipe state machines
+// (internal/core), and a software switch — another UDP socket — performs
+// the §4.1 barrier aggregation and forwards packets between hosts, exactly
+// like the host-delegate incarnation of §6.2.3. Packets travel in the
+// 48-bit-timestamp wire format of internal/wire, so PAWS wraparound
+// handling is exercised on a real network path.
+//
+// All sockets bind to the loopback interface and are launched by one
+// Start call. Nothing in the protocol requires co-residence — hosts and
+// switch share only the wire format and a clock epoch — so splitting the
+// endpoints across OS processes (disciplined by the system clock) is a
+// mechanical extension; the in-process launcher keeps the tests hermetic.
+package udpnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/wire"
+)
+
+// Config parameterizes the UDP fabric.
+type Config struct {
+	Hosts          int
+	ProcsPerHost   int
+	BeaconInterval time.Duration
+	// LossRate drops packets at the switch (loopback never loses, so the
+	// reliability machinery is exercised by injection).
+	LossRate float64
+	// Endpoint overrides lib1pipe configuration.
+	Endpoint *core.Config
+}
+
+// DefaultConfig returns a loopback fabric with millisecond beacons.
+func DefaultConfig(hosts, procsPerHost int) Config {
+	return Config{Hosts: hosts, ProcsPerHost: procsPerHost, BeaconInterval: time.Millisecond}
+}
+
+// registerPayload marks a control datagram announcing a host's address.
+var registerPayload = []byte("1PIPE-REGISTER")
+
+// Cluster is a running UDP deployment.
+type Cluster struct {
+	Switch *Switch
+	Hosts  []*HostNode
+	epoch  time.Time
+}
+
+// Start binds the switch and every host on loopback and registers them.
+func Start(cfg Config) (*Cluster, error) {
+	if cfg.ProcsPerHost <= 0 {
+		cfg.ProcsPerHost = 1
+	}
+	epoch := time.Now()
+	sw, err := newSwitch(cfg, epoch)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Switch: sw, epoch: epoch}
+	for h := 0; h < cfg.Hosts; h++ {
+		hn, err := newHostNode(h, cfg, sw.Addr(), epoch)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Hosts = append(c.Hosts, hn)
+	}
+	// Wait for every host to be registered at the switch (its first
+	// beacon doubles as the registration heartbeat).
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if sw.registered() == cfg.Hosts {
+			return c, nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	c.Close()
+	return nil, fmt.Errorf("udpnet: only %d/%d hosts registered", sw.registered(), cfg.Hosts)
+}
+
+// Proc returns a process handle.
+func (c *Cluster) Proc(p int) *ProcHandle {
+	pph := c.Hosts[0].cfg.ProcsPerHost
+	return &ProcHandle{host: c.Hosts[p/pph], id: netsim.ProcID(p)}
+}
+
+// NumProcs returns the total process count.
+func (c *Cluster) NumProcs() int { return len(c.Hosts) * c.Hosts[0].cfg.ProcsPerHost }
+
+// Close shuts the fabric down.
+func (c *Cluster) Close() {
+	for _, h := range c.Hosts {
+		h.close()
+	}
+	if c.Switch != nil {
+		c.Switch.close()
+	}
+}
+
+// ProcHandle exposes one process's API with the host's lock held.
+type ProcHandle struct {
+	host *HostNode
+	id   netsim.ProcID
+}
+
+// OnDeliver installs the delivery callback (invoked with the host lock
+// held; keep it short or hand off).
+func (p *ProcHandle) OnDeliver(fn func(core.Delivery)) {
+	p.host.mu.Lock()
+	defer p.host.mu.Unlock()
+	p.host.procs[p.id].OnDeliver = fn
+}
+
+// Send issues a best-effort scattering; message Data must be []byte (it
+// crosses a real socket).
+func (p *ProcHandle) Send(msgs []core.Message) error { return p.host.send(p.id, msgs, false) }
+
+// SendReliable issues a reliable scattering.
+func (p *ProcHandle) SendReliable(msgs []core.Message) error { return p.host.send(p.id, msgs, true) }
+
+// HostNode is one UDP host endpoint.
+type HostNode struct {
+	cfg    Config
+	id     int
+	conn   *net.UDPConn
+	swAddr *net.UDPAddr
+	epoch  time.Time
+
+	mu     sync.Mutex
+	core   *core.Host
+	procs  map[netsim.ProcID]*core.Proc
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// udpWire adapts the socket to core.Wire. Now() is nanoseconds since the
+// shared epoch.
+type udpWire struct{ h *HostNode }
+
+func (w udpWire) Now() sim.Time { return sim.Time(time.Since(w.h.epoch)) }
+
+func (w udpWire) After(d sim.Time, fn func()) {
+	h := w.h
+	time.AfterFunc(time.Duration(d), func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if !h.closed {
+			fn()
+		}
+	})
+}
+
+func (w udpWire) Send(pkt *netsim.Packet) {
+	var payload []byte
+	if b, ok := pkt.Payload.([]byte); ok && pkt.EndOfMsg {
+		payload = b
+	}
+	buf := wire.Encode(pkt, payload)
+	// Fire-and-forget datagram to the switch; UDP send errors surface as
+	// loss, which the protocol already tolerates.
+	w.h.conn.WriteToUDP(buf, w.h.swAddr)
+}
+
+func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time) (*HostNode, error) {
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	h := &HostNode{cfg: cfg, id: id, conn: conn, swAddr: swAddr, epoch: epoch,
+		procs: make(map[netsim.ProcID]*core.Proc)}
+	ecfg := core.DefaultConfig()
+	if cfg.Endpoint != nil {
+		ecfg = *cfg.Endpoint
+	}
+	ecfg.BeaconInterval = sim.Time(cfg.BeaconInterval)
+	ecfg.UseDataBarriers = true
+	ecfg.RTO = sim.Time(20 * cfg.BeaconInterval)
+	ecfg.SendFailTimeout = sim.Time(100 * cfg.BeaconInterval)
+	h.mu.Lock()
+	h.core = core.NewHost(id, udpWire{h: h}, ecfg)
+	for p := 0; p < cfg.ProcsPerHost; p++ {
+		pid := netsim.ProcID(id*cfg.ProcsPerHost + p)
+		h.procs[pid] = h.core.AddProc(pid)
+	}
+	h.core.Start()
+	h.mu.Unlock()
+	// Announce ourselves to the switch.
+	hello := wire.Encode(&netsim.Packet{Kind: netsim.KindCtrl,
+		Src: netsim.ProcID(id * cfg.ProcsPerHost)}, registerPayload)
+	conn.WriteToUDP(hello, swAddr)
+	h.wg.Add(1)
+	go h.readLoop()
+	return h, nil
+}
+
+func (h *HostNode) readLoop() {
+	defer h.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := h.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		pkt, payload, derr := wire.Decode(buf[:n], sim.Time(time.Since(h.epoch)))
+		if derr != nil {
+			continue
+		}
+		if len(payload) > 0 {
+			pkt.Payload = append([]byte(nil), payload...)
+		}
+		h.mu.Lock()
+		if !h.closed {
+			h.core.HandlePacket(pkt)
+		}
+		h.mu.Unlock()
+	}
+}
+
+func (h *HostNode) send(src netsim.ProcID, msgs []core.Message, reliable bool) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return fmt.Errorf("udpnet: host %d closed", h.id)
+	}
+	p := h.procs[src]
+	if p == nil {
+		return fmt.Errorf("udpnet: proc %d not on host %d", src, h.id)
+	}
+	if reliable {
+		return p.SendReliable(msgs)
+	}
+	return p.Send(msgs)
+}
+
+func (h *HostNode) close() {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		h.core.Stop()
+	}
+	h.mu.Unlock()
+	h.conn.Close()
+	h.wg.Wait()
+}

@@ -1,0 +1,61 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"onepipe/internal/netsim"
+)
+
+// FuzzDecode throws arbitrary bytes at the packet parser: it must never
+// panic, and anything it accepts must re-encode to an equivalent packet.
+func FuzzDecode(f *testing.F) {
+	f.Add(Encode(&netsim.Packet{Kind: netsim.KindData, Src: 1, Dst: 2, MsgTS: 1000, PSN: 7}, []byte("seed")))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, payload, err := Decode(data, 1<<40)
+		if err != nil {
+			return
+		}
+		// Accepted packets must round-trip.
+		re := Encode(pkt, payload)
+		pkt2, payload2, err2 := Decode(re, 1<<40)
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Fatal("payload changed across round trip")
+		}
+		if pkt.Kind != pkt2.Kind || pkt.Src != pkt2.Src || pkt.Dst != pkt2.Dst ||
+			pkt.PSN != pkt2.PSN || pkt.FragIdx != pkt2.FragIdx ||
+			WrapTS(pkt.MsgTS) != WrapTS(pkt2.MsgTS) {
+			t.Fatal("header changed across round trip")
+		}
+	})
+}
+
+// FuzzTSOrdering cross-checks PAWS comparison against exact arithmetic for
+// timestamps within the valid half-range window.
+func FuzzTSOrdering(f *testing.F) {
+	f.Add(uint64(1), uint64(2))
+	f.Add(uint64(0), uint64(1)<<47)
+	f.Fuzz(func(t *testing.T, a, b uint64) {
+		a &= tsMask
+		// Constrain b within half range of a so the comparison is defined.
+		delta := b % (halfRange - 1)
+		b = (a + delta) & tsMask
+		if delta == 0 {
+			if TSLess(a, b) || TSLess(b, a) {
+				t.Fatal("equal timestamps compared unequal")
+			}
+			return
+		}
+		if !TSLess(a, b) {
+			t.Fatalf("a=%d should precede b=a+%d", a, delta)
+		}
+		if TSLess(b, a) {
+			t.Fatal("comparison not antisymmetric")
+		}
+	})
+}

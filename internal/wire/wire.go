@@ -1,0 +1,156 @@
+// Package wire defines the binary packet format of 1Pipe as described in
+// §6.1: every packet carries a 24-byte 1Pipe header — three 48-bit
+// timestamps (message, best-effort barrier, commit barrier), a 32-bit PSN,
+// an opcode, flags, and addressing — followed by the payload.
+//
+// Timestamps on the wire are 48-bit nanosecond counters that wrap about
+// every 78 hours; comparisons use PAWS-style serial-number arithmetic
+// (RFC 1323/7323), so ordering remains correct across the wrap as long as
+// two live timestamps are within half the wrap period of each other.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// TSBits is the wire width of a 1Pipe timestamp.
+const TSBits = 48
+
+// tsMask keeps the low 48 bits.
+const tsMask = (uint64(1) << TSBits) - 1
+
+// halfRange is half the timestamp space, the PAWS comparison horizon
+// (~39 hours of nanoseconds).
+const halfRange = uint64(1) << (TSBits - 1)
+
+// WrapTS folds a full simulator timestamp onto the 48-bit wire space.
+func WrapTS(t sim.Time) uint64 { return uint64(t) & tsMask }
+
+// TSLess compares two 48-bit wire timestamps with serial-number
+// arithmetic: a < b iff the forward distance from a to b is less than half
+// the space (PAWS, §6.1).
+func TSLess(a, b uint64) bool {
+	if a == b {
+		return false
+	}
+	return (b-a)&tsMask < halfRange
+}
+
+// TSLessEq is TSLess or equal.
+func TSLessEq(a, b uint64) bool { return a == b || TSLess(a, b) }
+
+// UnwrapTS reconstructs a full timestamp from a 48-bit wire value, given a
+// reference timestamp known to be within half the wrap range of the true
+// value (the receiver's clock).
+func UnwrapTS(wire uint64, ref sim.Time) sim.Time {
+	refWire := uint64(ref) & tsMask
+	base := uint64(ref) &^ tsMask
+	diff := (wire - refWire) & tsMask
+	if diff < halfRange {
+		return sim.Time(base|refWire) + sim.Time(diff)
+	}
+	// wire is behind ref (or ref wrapped past it).
+	back := (refWire - wire) & tsMask
+	return sim.Time(base|refWire) - sim.Time(back)
+}
+
+// HeaderLen is the encoded header size: 3×6 (timestamps) + 4 (PSN) +
+// 2 (FragIdx) + 1 (opcode) + 1 (flags) + 4+4 (src/dst) + 4 (payload len)
+// = 38 bytes. (§6.1 counts the 24 bytes 1Pipe adds on top of UD
+// addressing; this format carries addressing and length explicitly since
+// it runs over plain UDP.)
+const HeaderLen = 38
+
+// Flag bits.
+const (
+	flagEndOfMsg = 1 << 0
+	flagReliable = 1 << 1
+	flagECN      = 1 << 2
+)
+
+// ErrShort reports a truncated packet.
+var ErrShort = errors.New("wire: short packet")
+
+// ErrBadOpcode reports an unknown opcode.
+var ErrBadOpcode = errors.New("wire: bad opcode")
+
+func put48(b []byte, v uint64) {
+	b[0] = byte(v >> 40)
+	b[1] = byte(v >> 32)
+	b[2] = byte(v >> 24)
+	b[3] = byte(v >> 16)
+	b[4] = byte(v >> 8)
+	b[5] = byte(v)
+}
+
+func get48(b []byte) uint64 {
+	return uint64(b[0])<<40 | uint64(b[1])<<32 | uint64(b[2])<<24 |
+		uint64(b[3])<<16 | uint64(b[4])<<8 | uint64(b[5])
+}
+
+// Encode serializes a packet header plus payload bytes. The Payload field
+// of the in-memory packet is not serialized (it holds Go values in the
+// simulator); payload carries the application bytes for the UDP transport.
+func Encode(pkt *netsim.Packet, payload []byte) []byte {
+	buf := make([]byte, HeaderLen+len(payload))
+	put48(buf[0:], WrapTS(pkt.MsgTS))
+	put48(buf[6:], WrapTS(pkt.BarrierBE))
+	put48(buf[12:], WrapTS(pkt.BarrierC))
+	binary.BigEndian.PutUint32(buf[18:], pkt.PSN)
+	binary.BigEndian.PutUint16(buf[22:], pkt.FragIdx)
+	buf[24] = byte(pkt.Kind)
+	var flags byte
+	if pkt.EndOfMsg {
+		flags |= flagEndOfMsg
+	}
+	if pkt.Reliable {
+		flags |= flagReliable
+	}
+	if pkt.ECN {
+		flags |= flagECN
+	}
+	buf[25] = flags
+	binary.BigEndian.PutUint32(buf[26:], uint32(pkt.Src))
+	binary.BigEndian.PutUint32(buf[30:], uint32(pkt.Dst))
+	binary.BigEndian.PutUint32(buf[34:], uint32(len(payload)))
+	copy(buf[HeaderLen:], payload)
+	return buf
+}
+
+// Decode parses a packet. ref anchors 48-bit timestamps back onto the full
+// time line (use the receiver's current clock). The returned payload
+// aliases buf.
+func Decode(buf []byte, ref sim.Time) (*netsim.Packet, []byte, error) {
+	if len(buf) < HeaderLen {
+		return nil, nil, ErrShort
+	}
+	kind := netsim.Kind(buf[24])
+	if kind > netsim.KindCtrl {
+		return nil, nil, fmt.Errorf("%w: %d", ErrBadOpcode, buf[24])
+	}
+	plen := binary.BigEndian.Uint32(buf[34:])
+	if len(buf) < HeaderLen+int(plen) {
+		return nil, nil, ErrShort
+	}
+	flags := buf[25]
+	pkt := &netsim.Packet{
+		Kind:      kind,
+		MsgTS:     UnwrapTS(get48(buf[0:]), ref),
+		BarrierBE: UnwrapTS(get48(buf[6:]), ref),
+		BarrierC:  UnwrapTS(get48(buf[12:]), ref),
+		PSN:       binary.BigEndian.Uint32(buf[18:]),
+		FragIdx:   binary.BigEndian.Uint16(buf[22:]),
+		EndOfMsg:  flags&flagEndOfMsg != 0,
+		Reliable:  flags&flagReliable != 0,
+		ECN:       flags&flagECN != 0,
+		Src:       netsim.ProcID(binary.BigEndian.Uint32(buf[26:])),
+		Dst:       netsim.ProcID(binary.BigEndian.Uint32(buf[30:])),
+		Size:      HeaderLen + int(plen),
+	}
+	return pkt, buf[HeaderLen : HeaderLen+plen], nil
+}

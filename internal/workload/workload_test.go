@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniformCoversRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	u := NewUniform(rng, 100)
+	seen := make(map[uint64]bool)
+	for i := 0; i < 10000; i++ {
+		k := u.Next()
+		if k >= 100 {
+			t.Fatalf("key %d out of range", k)
+		}
+		seen[k] = true
+	}
+	if len(seen) < 95 {
+		t.Fatalf("uniform generator covered only %d/100 keys", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	z := NewZipf(rng, 1_000_000, 0.99)
+	counts := make(map[uint64]int)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		k := z.Next()
+		if k >= 1_000_000 {
+			t.Fatalf("key %d out of range", k)
+		}
+		counts[k]++
+	}
+	// YCSB theta=0.99 over 1M keys: the hottest key gets a few percent of
+	// all accesses.
+	if frac := float64(counts[0]) / n; frac < 0.02 || frac > 0.20 {
+		t.Fatalf("hottest-key fraction %.3f outside Zipfian expectation", frac)
+	}
+	// Top-10 keys dominate far beyond uniform share.
+	top10 := 0
+	for k := uint64(0); k < 10; k++ {
+		top10 += counts[k]
+	}
+	if frac := float64(top10) / n; frac < 0.10 {
+		t.Fatalf("top-10 fraction %.3f not skewed", frac)
+	}
+}
+
+func TestZipfSmallN(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	z := NewZipf(rng, 4, 0.99)
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[3] {
+		t.Fatalf("zipf over 4 keys not skewed: %v", counts)
+	}
+}
+
+func TestETCValueSizes(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		v := ETCValueSize(rng)
+		if v < 2 || v > 64*1024+4096 {
+			t.Fatalf("value size %d out of range", v)
+		}
+		if v <= 512 {
+			small++
+		}
+		if v >= 4096 {
+			large++
+		}
+	}
+	if small < 8000 {
+		t.Fatalf("ETC distribution not small-dominated: %d/10000", small)
+	}
+	if large == 0 {
+		t.Fatal("ETC distribution has no tail")
+	}
+}
+
+func TestTxnGenDistinctKeysAndWriteFrac(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := NewTxnGen(rng, NewUniform(rng, 1000), 8, 0.5)
+	writes, total := 0, 0
+	for i := 0; i < 1000; i++ {
+		ops := g.Next()
+		if len(ops) != 8 {
+			t.Fatalf("txn size %d", len(ops))
+		}
+		seen := make(map[uint64]bool)
+		for _, op := range ops {
+			if seen[op.Key] {
+				t.Fatal("duplicate key in txn")
+			}
+			seen[op.Key] = true
+			total++
+			if op.Kind == OpWrite {
+				writes++
+				if op.Value <= 0 {
+					t.Fatal("write without value size")
+				}
+			}
+		}
+	}
+	frac := float64(writes) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("write fraction %.3f, want ~0.5", frac)
+	}
+}
+
+func TestReadOnlyWriteOnly(t *testing.T) {
+	ro := []Op{{Kind: OpRead}, {Kind: OpRead}}
+	wo := []Op{{Kind: OpWrite}, {Kind: OpWrite}}
+	rw := []Op{{Kind: OpRead}, {Kind: OpWrite}}
+	if !ReadOnly(ro) || ReadOnly(rw) || ReadOnly(wo) {
+		t.Fatal("ReadOnly misclassified")
+	}
+	if !WriteOnly(wo) || WriteOnly(rw) || WriteOnly(ro) {
+		t.Fatal("WriteOnly misclassified")
+	}
+}
+
+// Property: Zipf keys are always within range for arbitrary sizes.
+func TestZipfRangeProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint32) bool {
+		n := uint64(nRaw%100000) + 2
+		rng := rand.New(rand.NewSource(seed))
+		z := NewZipf(rng, n, 0.99)
+		for i := 0; i < 200; i++ {
+			if z.Next() >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,94 @@
+package onepipe
+
+import (
+	"time"
+
+	"onepipe/internal/core"
+	"onepipe/internal/livenet"
+	"onepipe/internal/udpnet"
+)
+
+// Live is a real-time 1Pipe fabric: the same protocol state machines as
+// the simulated Cluster, but running on wall-clock time — either over
+// in-process channels or over real UDP sockets on loopback. Use it to
+// embed 1Pipe semantics in an actual program rather than an experiment.
+type Live struct {
+	np      int
+	send    func(p int, reliable bool, msgs []Message) error
+	deliver func(p int, fn func(Delivery))
+	stop    func()
+}
+
+// LiveConfig sizes a real-time fabric.
+type LiveConfig struct {
+	Hosts        int
+	ProcsPerHost int
+	// BeaconInterval is T_beacon in wall-clock time (default 1 ms —
+	// coarse enough for OS timers).
+	BeaconInterval time.Duration
+	// LossRate (UDP fabric only) injects loss at the software switch.
+	LossRate float64
+}
+
+// NewLiveCluster starts an in-process real-time fabric (goroutines and
+// channels). Stop it with Close.
+func NewLiveCluster(cfg LiveConfig) *Live {
+	lcfg := livenet.DefaultConfig(cfg.Hosts, cfg.ProcsPerHost)
+	if cfg.BeaconInterval > 0 {
+		lcfg.BeaconInterval = cfg.BeaconInterval
+	}
+	n := livenet.New(lcfg)
+	return &Live{
+		np: n.NumProcs(),
+		send: func(p int, reliable bool, msgs []Message) error {
+			return n.Send(p, reliable, msgs)
+		},
+		deliver: func(p int, fn func(Delivery)) {
+			n.Do(func() { n.Proc(p).OnDeliver = fn })
+		},
+		stop: n.Stop,
+	}
+}
+
+// NewUDPCluster starts a fabric over real UDP sockets on loopback: one
+// socket per host plus a software switch performing barrier aggregation in
+// the 48-bit wire format. Message Data must be []byte (it crosses real
+// sockets). Stop it with Close.
+func NewUDPCluster(cfg LiveConfig) (*Live, error) {
+	ucfg := udpnet.DefaultConfig(cfg.Hosts, cfg.ProcsPerHost)
+	if cfg.BeaconInterval > 0 {
+		ucfg.BeaconInterval = cfg.BeaconInterval
+	}
+	ucfg.LossRate = cfg.LossRate
+	c, err := udpnet.Start(ucfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Live{
+		np: c.NumProcs(),
+		send: func(p int, reliable bool, msgs []Message) error {
+			if reliable {
+				return c.Proc(p).SendReliable(msgs)
+			}
+			return c.Proc(p).Send(msgs)
+		},
+		deliver: func(p int, fn func(core.Delivery)) { c.Proc(p).OnDeliver(fn) },
+		stop:    c.Close,
+	}, nil
+}
+
+// NumProcesses returns the process count.
+func (l *Live) NumProcesses() int { return l.np }
+
+// OnDeliver installs process p's delivery callback. Callbacks run on the
+// fabric's internal goroutine; hand heavy work off.
+func (l *Live) OnDeliver(p int, fn func(Delivery)) { l.deliver(p, fn) }
+
+// UnreliableSend issues a best-effort scattering from process p.
+func (l *Live) UnreliableSend(p int, msgs []Message) error { return l.send(p, false, msgs) }
+
+// ReliableSend issues a reliable scattering from process p.
+func (l *Live) ReliableSend(p int, msgs []Message) error { return l.send(p, true, msgs) }
+
+// Close shuts the fabric down.
+func (l *Live) Close() { l.stop() }

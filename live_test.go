@@ -1,0 +1,69 @@
+package onepipe
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLiveClusterDelivery(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Hosts: 3, ProcsPerHost: 1})
+	defer l.Close()
+	var mu sync.Mutex
+	var got []any
+	l.OnDeliver(2, func(d Delivery) {
+		mu.Lock()
+		got = append(got, d.Data)
+		mu.Unlock()
+	})
+	if err := l.UnreliableSend(0, []Message{{Dst: 2, Data: "rt", Size: 8}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("live delivery timed out")
+}
+
+func TestUDPClusterDelivery(t *testing.T) {
+	l, err := NewUDPCluster(LiveConfig{Hosts: 3, ProcsPerHost: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var mu sync.Mutex
+	okc := 0
+	for _, p := range []int{1, 2} {
+		l.OnDeliver(p, func(d Delivery) {
+			if string(d.Data.([]byte)) == "udp" {
+				mu.Lock()
+				okc++
+				mu.Unlock()
+			}
+		})
+	}
+	if err := l.ReliableSend(0, []Message{
+		{Dst: 1, Data: []byte("udp"), Size: 3},
+		{Dst: 2, Data: []byte("udp"), Size: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := okc
+		mu.Unlock()
+		if n == 2 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("UDP scattering delivery timed out")
+}

@@ -1,0 +1,280 @@
+// Package onepipe is a Go implementation of 1Pipe, the causally and
+// totally ordered communication abstraction of "1Pipe: Scalable Total
+// Order Communication in Data Center Networks" (SIGCOMM 2021).
+//
+// 1Pipe lets every receiver in a data center deliver messages from all
+// senders in one consistent (timestamp, sender) total order. Its unit of
+// transmission is the scattering: a group of messages to different
+// destinations that occupy the same position in the total order. Two
+// service classes are provided:
+//
+//   - Best effort: delivered in 0.5 RTT plus barrier wait; lost messages
+//     are detected (send-failure callback) but never retransmitted.
+//   - Reliable: two-phase commit with in-network commit-barrier
+//     aggregation; delivery is guaranteed unless a participant fails, in
+//     which case the whole scattering is recalled (restricted failure
+//     atomicity).
+//
+// The package deploys a complete 1Pipe fabric over a deterministic
+// discrete-event data center simulation: a multi-rooted Clos topology
+// whose switches aggregate barrier timestamps (the paper's programmable
+// chip, switch-CPU and host-delegate incarnations), PTP-style synchronized
+// host clocks, a UD-style transport with DCTCP congestion control, and a
+// Raft-replicated failure controller.
+//
+// Quickstart:
+//
+//	cluster := onepipe.NewCluster(onepipe.Defaults())
+//	p0, p1 := cluster.Process(0), cluster.Process(1)
+//	p1.OnDeliver(func(d onepipe.Delivery) {
+//		fmt.Printf("t=%v from=%d %v\n", d.TS, d.Src, d.Data)
+//	})
+//	p0.UnreliableSend([]onepipe.Message{{Dst: 1, Data: "hello", Size: 64}})
+//	cluster.Run(200 * onepipe.Microsecond)
+package onepipe
+
+import (
+	"onepipe/internal/controller"
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// Timestamp is a 1Pipe timestamp: nanoseconds of synchronized host time.
+type Timestamp = sim.Time
+
+// Convenient duration units for Run and configuration fields.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// ProcID identifies a 1Pipe process.
+type ProcID = netsim.ProcID
+
+// Message is one element of a scattering.
+type Message = core.Message
+
+// Delivery is a message delivered in total order.
+type Delivery = core.Delivery
+
+// SendFailure reports a message that will not be delivered.
+type SendFailure = core.SendFailure
+
+// Topology sizes the simulated Clos network.
+type Topology = topology.ClosConfig
+
+// Mode selects the in-network processing incarnation.
+type Mode = netsim.Mode
+
+// Incarnations of in-network barrier aggregation (§6.2).
+const (
+	ModeChip         = netsim.ModeChip
+	ModeSwitchCPU    = netsim.ModeSwitchCPU
+	ModeHostDelegate = netsim.ModeHostDelegate
+)
+
+// ErrSendBufferFull is returned by sends when the host's wait queue is at
+// capacity.
+var ErrSendBufferFull = core.ErrSendBufferFull
+
+// Config assembles a 1Pipe deployment.
+type Config struct {
+	// Topology is the Clos network to simulate; Testbed() is the paper's
+	// 32-server, 10-switch fabric.
+	Topology Topology
+	// ProcsPerHost is the number of 1Pipe processes per server.
+	ProcsPerHost int
+	// Mode selects the switch incarnation (default ModeChip).
+	Mode Mode
+	// BeaconInterval is T_beacon (default 3 us).
+	BeaconInterval Timestamp
+	// LossRate is the per-link packet corruption probability.
+	LossRate float64
+	// Seed makes the run reproducible.
+	Seed int64
+	// WithController deploys the Raft-replicated failure controller and
+	// gates the commit plane on its Resume step. Required for reliable
+	// 1Pipe's restricted failure atomicity under crashes.
+	WithController bool
+	// Unified delivers both service classes in a single cross-class total
+	// order (see internal/core.DeliverUnified).
+	Unified bool
+	// Net, when non-nil, overrides the derived network configuration
+	// entirely (expert knob used by the experiment harness).
+	Net *netsim.Config
+	// Endpoint, when non-nil, overrides the lib1pipe endpoint
+	// configuration.
+	Endpoint *core.Config
+}
+
+// Testbed returns the paper's evaluation topology.
+func Testbed() Topology { return topology.Testbed() }
+
+// Defaults returns a small two-pod cluster configuration suitable for
+// examples and tests.
+func Defaults() Config {
+	return Config{
+		Topology:     Topology{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 2},
+		ProcsPerHost: 1,
+		Mode:         ModeChip,
+		Seed:         1,
+	}
+}
+
+// Cluster is a deployed 1Pipe fabric plus its simulated data center.
+type Cluster struct {
+	cfg     Config
+	net     *netsim.Network
+	core    *core.Cluster
+	ctrl    *controller.Controller
+	handles []*Process
+}
+
+// NewCluster builds the network, deploys lib1pipe on every host, and (if
+// configured) starts the replicated controller.
+func NewCluster(cfg Config) *Cluster {
+	ncfg := netsim.DefaultConfig(cfg.Topology, cfg.ProcsPerHost)
+	if cfg.Net != nil {
+		ncfg = *cfg.Net
+	} else {
+		ncfg.Mode = cfg.Mode
+		ncfg.LossRate = cfg.LossRate
+		if cfg.BeaconInterval > 0 {
+			ncfg.BeaconInterval = cfg.BeaconInterval
+		}
+		if cfg.Seed != 0 {
+			ncfg.Seed = cfg.Seed
+		}
+		ncfg.ControllerManagedCommit = cfg.WithController
+	}
+	ecfg := core.DefaultConfig()
+	if cfg.Endpoint != nil {
+		ecfg = *cfg.Endpoint
+	}
+	if cfg.Unified {
+		ecfg.Mode = core.DeliverUnified
+	}
+	n := netsim.New(ncfg)
+	cl := core.Deploy(n, ecfg)
+	c := &Cluster{cfg: cfg, net: n, core: cl}
+	if cfg.WithController {
+		c.ctrl = controller.New(n, cl, controller.DefaultConfig())
+		c.ctrl.Raft.WaitLeader(50 * Millisecond)
+	}
+	// Buffer every process's deliveries for Poll until the application
+	// registers a callback.
+	c.handles = make([]*Process, len(cl.Procs))
+	for p := range cl.Procs {
+		c.Process(p)
+	}
+	return c
+}
+
+// NumProcesses returns the number of deployed processes.
+func (c *Cluster) NumProcesses() int { return len(c.core.Procs) }
+
+// Process returns the endpoint of process p. Handles are cached: repeated
+// calls return the same *Process.
+func (c *Cluster) Process(p int) *Process {
+	if c.handles == nil {
+		c.handles = make([]*Process, len(c.core.Procs))
+	}
+	if c.handles[p] == nil {
+		h := &Process{proc: c.core.Procs[p], cluster: c}
+		h.ensureQueue() // buffer deliveries until a callback is registered
+		c.handles[p] = h
+	}
+	return c.handles[p]
+}
+
+// Run advances the simulated data center by d.
+func (c *Cluster) Run(d Timestamp) { c.net.Eng.RunFor(d) }
+
+// Now returns the current simulation time.
+func (c *Cluster) Now() Timestamp { return c.net.Eng.Now() }
+
+// Network exposes the underlying simulated network (failure injection,
+// statistics) for experiments.
+func (c *Cluster) Network() *netsim.Network { return c.net }
+
+// Core exposes the deployed lib1pipe runtimes.
+func (c *Cluster) Core() *core.Cluster { return c.core }
+
+// Controller returns the failure controller, or nil if not deployed.
+func (c *Cluster) Controller() *controller.Controller { return c.ctrl }
+
+// KillHost crash-fails a server; with a controller deployed, reliable
+// 1Pipe runs the full Detect/Determine/Broadcast/Discard/Recall/Callback/
+// Resume pipeline of §5.2.
+func (c *Cluster) KillHost(host int) {
+	c.core.Hosts[host].Stop()
+	c.net.G.KillNode(c.net.G.Host(host))
+}
+
+// Process is one 1Pipe endpoint, exposing the Table 1 API.
+type Process struct {
+	proc    *core.Proc
+	cluster *Cluster
+	queue   *[]Delivery
+}
+
+// ID returns the process identifier.
+func (p *Process) ID() ProcID { return p.proc.ID }
+
+// UnreliableSend issues a best-effort scattering
+// (onepipe_unreliable_send).
+func (p *Process) UnreliableSend(msgs []Message) error { return p.proc.Send(msgs) }
+
+// ReliableSend issues a reliable scattering (onepipe_reliable_send).
+func (p *Process) ReliableSend(msgs []Message) error { return p.proc.SendReliable(msgs) }
+
+// OnDeliver registers the delivery callback; messages arrive in
+// (timestamp, sender) total order (the push-style equivalent of
+// onepipe_unreliable_recv / onepipe_reliable_recv). Registering a callback
+// supersedes the Poll queue.
+func (p *Process) OnDeliver(fn func(Delivery)) { p.proc.OnDeliver = fn }
+
+// Poll returns the next delivery in total order, pull-style — the direct
+// analogue of Table 1's recv calls. Deliveries accumulate in an internal
+// queue while neither OnDeliver nor Poll has consumed them.
+func (p *Process) Poll() (Delivery, bool) {
+	p.ensureQueue()
+	q := *p.queue
+	if len(q) == 0 {
+		return Delivery{}, false
+	}
+	d := q[0]
+	*p.queue = q[1:]
+	return d, true
+}
+
+// Pending reports how many deliveries are queued for Poll.
+func (p *Process) Pending() int {
+	p.ensureQueue()
+	return len(*p.queue)
+}
+
+func (p *Process) ensureQueue() {
+	if p.queue != nil {
+		return
+	}
+	q := &[]Delivery{}
+	p.queue = q
+	p.proc.OnDeliver = func(d Delivery) { *q = append(*q, d) }
+}
+
+// OnSendFail registers the send-failure callback
+// (onepipe_send_fail_callback).
+func (p *Process) OnSendFail(fn func(SendFailure)) { p.proc.OnSendFail = fn }
+
+// OnProcFail registers the process-failure callback
+// (onepipe_proc_fail_callback).
+func (p *Process) OnProcFail(fn func(proc ProcID, ts Timestamp)) { p.proc.OnProcFail = fn }
+
+// Timestamp returns the host's current synchronized timestamp
+// (onepipe_get_timestamp).
+func (p *Process) Timestamp() Timestamp { return p.proc.Timestamp() }

@@ -16,7 +16,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/livenet/ ./internal/udpnet/
+	$(GO) test -race ./internal/core/ ./internal/livenet/ ./internal/udpnet/
 
 # One pass over every figure/table as Go benchmarks.
 bench:

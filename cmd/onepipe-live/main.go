@@ -18,6 +18,7 @@ import (
 
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 	"onepipe/internal/udpnet"
 )
@@ -27,10 +28,14 @@ func main() {
 	msgs := flag.Int("msgs", 20, "broadcasts per process")
 	loss := flag.Float64("loss", 0, "loss probability injected at the switch")
 	reliable := flag.Bool("reliable", false, "use reliable 1Pipe")
+	trace := flag.Bool("trace", false, "record per-stage lifecycle latencies and print the breakdown")
+	debug := flag.String("debug", "", "serve /debug/vars, /debug/pprof and /debug/onepipe on this address (implies -trace)")
 	flag.Parse()
 
 	cfg := udpnet.DefaultConfig(*hosts, 1)
 	cfg.LossRate = *loss
+	cfg.Trace = *trace || *debug != ""
+	cfg.DebugAddr = *debug
 	c, err := udpnet.Start(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -40,6 +45,9 @@ func main() {
 	n := c.NumProcs()
 	fmt.Printf("UDP 1Pipe: %d host sockets + switch on loopback, loss=%.1f%%, reliable=%v\n\n",
 		n, *loss*100, *reliable)
+	if addr := c.DebugAddr(); addr != "" {
+		fmt.Printf("debug server on http://%s/debug/onepipe\n\n", addr)
+	}
 
 	type rec struct {
 		ts   sim.Time
@@ -102,6 +110,14 @@ func main() {
 	want := n * (n - 1) * *msgs
 	fmt.Printf("delivered %d/%d messages; per-receiver total order intact: %v\n", total, want, sorted)
 	fmt.Printf("switch forwarded %d packets, dropped %d\n", c.Switch.Forwarded, c.Switch.Dropped)
+	if cfg.Trace {
+		fmt.Println("\nper-stage latency breakdown (us):")
+		fmt.Printf("  %-16s %8s %9s %9s %9s %9s\n", "span", "count", "mean", "p50", "p95", "p99")
+		for _, s := range obs.Summarize(obs.Merge(c.Traces()...)) {
+			fmt.Printf("  %-16s %8d %9.1f %9.1f %9.1f %9.1f\n",
+				s.Span, s.Count, s.MeanU, s.P50U, s.P95U, s.P99U)
+		}
+	}
 	if *reliable && total != want {
 		fmt.Println("WARNING: reliable mode should deliver everything")
 		os.Exit(1)

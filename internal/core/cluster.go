@@ -2,6 +2,7 @@ package core
 
 import (
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 )
 
@@ -49,6 +50,20 @@ func Deploy(n *netsim.Network, cfg Config) *Cluster {
 // Proc returns process p's endpoint.
 func (cl *Cluster) Proc(p int) *Proc { return cl.Procs[p] }
 
+// EnableTracing installs a fresh lifecycle tracer on every host and returns
+// them (index == host index) for obs.Merge after the run. Call before
+// traffic flows; hosts deployed without it pay only the nil-check branch.
+func (cl *Cluster) EnableTracing() []*obs.Trace {
+	out := make([]*obs.Trace, len(cl.Hosts))
+	for i, h := range cl.Hosts {
+		if h.Obs == nil {
+			h.Obs = obs.NewTrace()
+		}
+		out[i] = h.Obs
+	}
+	return out
+}
+
 // Run advances the simulation by d.
 func (cl *Cluster) Run(d sim.Time) { cl.Net.Eng.RunFor(d) }
 
@@ -66,6 +81,7 @@ func (cl *Cluster) TotalStats() HostStats {
 		t.Commits += h.Stats.Commits
 		t.Beacons += h.Stats.Beacons
 		t.Recalled += h.Stats.Recalled
+		t.StuckReports += h.Stats.StuckReports
 		if h.Stats.MaxBufferBytes > t.MaxBufferBytes {
 			t.MaxBufferBytes = h.Stats.MaxBufferBytes
 		}

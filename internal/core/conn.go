@@ -1,9 +1,11 @@
 package core
 
 import (
-	"onepipe/internal/netsim"
-	"onepipe/internal/sim"
 	"sort"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
+	"onepipe/internal/sim"
 )
 
 type connKey struct {
@@ -39,6 +41,12 @@ type conn struct {
 	host    *Host
 	nextPSN [2]uint32
 	unacked [2]map[uint32]*outPkt
+	// stuckPkts parks reliable packets that exhausted MaxRetx: their
+	// window slots are freed and they are never retransmitted by the RTO,
+	// but they stay visible to PendingTo so §5.2 Controller Forwarding can
+	// still relay them, and a late (or controller-relayed) ACK completes
+	// them via onAck.
+	stuckPkts map[uint32]*outPkt
 	// sendQ holds launched-but-untransmitted fragments: a scattering
 	// larger than the window streams out as ACKs free space.
 	sendQ []*outPkt
@@ -95,6 +103,16 @@ func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
 	k := cls(reliable)
 	op, ok := c.unacked[k][psn]
 	if !ok {
+		// A late or controller-relayed ACK can complete a packet that
+		// exhausted MaxRetx; its window slot was freed when it was parked,
+		// so only scattering completion accounting remains.
+		if reliable {
+			if op, stuck := c.stuckPkts[psn]; stuck {
+				delete(c.stuckPkts, psn)
+				c.host.onPacketAcked(op)
+				c.host.grantCredits()
+			}
+		}
 		return // duplicate ACK
 	}
 	delete(c.unacked[k], psn)
@@ -119,6 +137,9 @@ func (c *conn) pump() {
 		k := cls(op.scat.reliable)
 		c.unacked[k][op.psn] = op
 		c.inflight++
+		if c.host.Obs.On() {
+			c.host.Obs.Rec(obs.SpanXmitWait, c.host.wire.Now()-op.scat.ts)
+		}
 		c.host.emit(c.buildPacket(op, op.psn))
 		if op.scat.reliable && !c.rto.armed {
 			c.rto.reset(c.host.Cfg.RTO)
@@ -167,13 +188,24 @@ func (c *conn) onRTO() {
 	}
 	sort.Slice(psns, func(i, j int) bool { return psns[i] < psns[j] })
 	rearm := false
+	exhausted := false
 	for _, psn := range psns {
 		op := c.unacked[1][psn]
 		op.retx++
 		if h.Cfg.MaxRetx > 0 && op.retx > h.Cfg.MaxRetx {
-			if h.OnStuck != nil {
-				h.OnStuck(c.key.src, c.key.dst, op.scat.ts)
+			// Retransmission budget exhausted: report the stall (once per
+			// (dst, ts)), free the window slot, and park the packet where
+			// Controller Forwarding can still find it. Leaving it in
+			// unacked would charge its inflight slot forever — wedging the
+			// window — and re-fire OnStuck on every later RTO.
+			delete(c.unacked[1], psn)
+			c.inflight--
+			if c.stuckPkts == nil {
+				c.stuckPkts = make(map[uint32]*outPkt)
 			}
+			c.stuckPkts[psn] = op
+			h.reportStuck(c.key.src, c.key.dst, op.scat.ts)
+			exhausted = true
 			continue
 		}
 		h.Stats.PktsRetx++
@@ -182,6 +214,12 @@ func (c *conn) onRTO() {
 	}
 	if rearm {
 		c.rto.reset(h.Cfg.RTO * sim.Time(1+min(4, c.minRetx())))
+	}
+	if exhausted {
+		// The freed slots can admit queued fragments and credit-blocked
+		// scatterings immediately.
+		c.pump()
+		h.grantCredits()
 	}
 }
 
@@ -246,6 +284,13 @@ func (c *conn) dropScattering(s *scattering) {
 			}
 		}
 	}
+	// Parked (MaxRetx-exhausted) packets of an aborted scattering will
+	// never be wanted again, not even by Controller Forwarding.
+	for psn, op := range c.stuckPkts {
+		if op.scat == s {
+			delete(c.stuckPkts, psn)
+		}
+	}
 	c.pump()
 }
 
@@ -258,6 +303,9 @@ type scattering struct {
 	launched bool
 	aborted  bool
 	done     bool
+	// submitAt is the Send call time, recorded only while tracing; the
+	// submit → launch gap is the credit wait (obs.SpanCreditWait).
+	submitAt sim.Time
 
 	// fragsPerMsg[i] is the packet count of msgs[i].
 	fragsPerMsg []int
@@ -394,6 +442,9 @@ func (h *Host) releaseReservations(s *scattering) {
 func (h *Host) launch(s *scattering) {
 	s.ts = h.nextTS()
 	s.launched = true
+	if s.submitAt > 0 {
+		h.Obs.Rec(obs.SpanCreditWait, s.ts-s.submitAt)
+	}
 	h.releaseReservations(s)
 	if s.reliable {
 		// Joining the outstanding list MUST precede any emission: the
@@ -452,6 +503,9 @@ func (h *Host) onPacketAcked(op *outPkt) {
 		return
 	}
 	s.done = true
+	if h.Obs.On() {
+		h.Obs.Rec(obs.SpanAckWait, h.wire.Now()-s.ts)
+	}
 	if s.reliable {
 		h.reapOutstanding()
 	} else if s.failTimer != nil {

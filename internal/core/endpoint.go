@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 )
 
@@ -31,7 +32,8 @@ type HostStats struct {
 	Commits        uint64
 	Beacons        uint64
 	Recalled       uint64
-	BufferedBytes  int64 // current reorder-buffer occupancy
+	StuckReports   uint64 // MaxRetx exhaustions escalated, deduplicated per (dst, ts)
+	BufferedBytes  int64  // current reorder-buffer occupancy
 	MaxBufferBytes int64
 	BufferedMsgs   int64
 }
@@ -42,6 +44,11 @@ type Host struct {
 	Cfg   Config
 	ID    int
 	Stats HostStats
+
+	// Obs, if set, receives message-lifecycle span records (internal/obs).
+	// Install it before traffic flows; a nil tracer costs the hot path one
+	// predictable branch per record site.
+	Obs *obs.Trace
 
 	wire  Wire
 	procs map[netsim.ProcID]*Proc
@@ -70,6 +77,10 @@ type Host struct {
 	ackPending  map[ackKey]*ackPend
 	failDone    func()
 	failWait    int
+	// stuckReported deduplicates OnStuck escalations: retransmission
+	// exhaustion re-examines the same stall every RTO, and the data and
+	// recall paths can stall on the same (dst, ts).
+	stuckReported map[recallKey]bool
 
 	// OnStuck, if set, is called when a reliable message or recall from
 	// src exhausted MaxRetx retransmissions toward dst; the
@@ -107,10 +118,11 @@ func NewHost(id int, wire Wire, cfg Config) *Host {
 		procs:       make(map[netsim.ProcID]*Proc),
 		conns:       make(map[connKey]*conn),
 		rconns:      make(map[connKey]*rconn),
-		failedPeers: make(map[netsim.ProcID]sim.Time),
-		recallTomb:  make(map[recallKey]bool),
-		recalls:     make(map[recallKey]*recallState),
-		ackPending:  make(map[ackKey]*ackPend),
+		failedPeers:   make(map[netsim.ProcID]sim.Time),
+		recallTomb:    make(map[recallKey]bool),
+		recalls:       make(map[recallKey]*recallState),
+		ackPending:    make(map[ackKey]*ackPend),
+		stuckReported: make(map[recallKey]bool),
 	}
 	return h
 }
@@ -271,6 +283,22 @@ func (p *Proc) Send(msgs []Message) error { return p.host.send(p, msgs, false) }
 // the whole scattering is recalled (restricted failure atomicity).
 func (p *Proc) SendReliable(msgs []Message) error { return p.host.send(p, msgs, true) }
 
+// reportStuck escalates a stalled (dst, ts) through OnStuck exactly once:
+// every further exhaustion of the same stall — data retransmissions on a
+// later RTO, or the recall path stalling on the same scattering — is
+// counted by the first report.
+func (h *Host) reportStuck(src, dst netsim.ProcID, ts sim.Time) {
+	rk := recallKey{dst: dst, ts: ts}
+	if h.stuckReported[rk] {
+		return
+	}
+	h.stuckReported[rk] = true
+	h.Stats.StuckReports++
+	if h.OnStuck != nil {
+		h.OnStuck(src, dst, ts)
+	}
+}
+
 func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
 	if len(msgs) == 0 {
 		return ErrNoMessages
@@ -282,6 +310,9 @@ func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
 		return ErrSendBufferFull
 	}
 	s := newScattering(p, msgs, reliable, h.Cfg.MTU)
+	if h.Obs.On() {
+		s.submitAt = h.wire.Now()
+	}
 	// Messages to processes already known failed cannot be sent.
 	for i := range s.msgs {
 		if _, dead := h.failedPeers[s.msgs[i].Dst]; dead {

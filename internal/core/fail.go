@@ -156,6 +156,9 @@ func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
 				}
 			}
 		}
+		// Parked (MaxRetx-exhausted) packets toward the failed process are
+		// equally unACKable; their scatterings were aborted above.
+		c.stuckPkts = nil
 	}
 	h.grantCredits()
 }
@@ -207,13 +210,33 @@ func (h *Host) resendRecall(rk recallKey, rs *recallState) {
 	}
 	rs.tries++
 	if h.Cfg.MaxRetx > 0 && rs.tries > h.Cfg.MaxRetx {
-		if h.OnStuck != nil {
-			h.OnStuck(rs.scat.owner.ID, rk.dst, rk.ts)
-		}
+		// Final report, then clean up as if resolved: leaving the recall
+		// registered would hold recallsPending nonzero forever, so the
+		// aborting scattering never goes done, reapOutstanding stalls the
+		// commit floor, and ApplyFailure's completion never fires. The
+		// escalation (durable recall record or forwarding) is the
+		// controller's job once OnStuck has been reported.
+		h.reportStuck(rs.scat.owner.ID, rk.dst, rk.ts)
+		h.finishRecall(rk, rs)
 		return
 	}
 	h.sendRecall(rs.scat.owner.ID, rk)
 	rs.timer.reset(h.Cfg.RTO)
+}
+
+// finishRecall resolves one outstanding recall — acknowledged, controller-
+// resolved, or abandoned after MaxRetx — releasing the aborting scattering
+// and the failure-completion wait.
+func (h *Host) finishRecall(rk recallKey, rs *recallState) {
+	rs.timer.stop()
+	delete(h.recalls, rk)
+	rs.scat.recallsPending--
+	if rs.scat.recallsPending == 0 {
+		rs.scat.done = true
+		h.reapOutstanding()
+	}
+	h.failWait--
+	h.checkFailDone()
 }
 
 // handleRecall executes the receiver side of Recall: discard the scattering
@@ -273,6 +296,13 @@ func (h *Host) PendingTo(src, dst netsim.ProcID) []*netsim.Packet {
 	for psn, op := range c.unacked[1] {
 		out = append(out, c.buildPacket(op, psn))
 	}
+	// Packets parked after MaxRetx exhaustion are exactly the ones the
+	// controller is being asked to forward.
+	for psn, op := range c.stuckPkts {
+		if !op.scat.aborted {
+			out = append(out, c.buildPacket(op, psn))
+		}
+	}
 	for _, op := range c.sendQ {
 		if op.scat.reliable && !op.scat.aborted {
 			out = append(out, c.buildPacket(op, op.psn))
@@ -292,15 +322,7 @@ func (h *Host) ResolveRecall(dst netsim.ProcID, ts sim.Time) {
 	if !ok {
 		return
 	}
-	rs.timer.stop()
-	delete(h.recalls, rk)
-	rs.scat.recallsPending--
-	if rs.scat.recallsPending == 0 {
-		rs.scat.done = true
-		h.reapOutstanding()
-	}
-	h.failWait--
-	h.checkFailDone()
+	h.finishRecall(rk, rs)
 }
 
 func (h *Host) handleRecallAck(pkt *netsim.Packet) {
@@ -309,15 +331,7 @@ func (h *Host) handleRecallAck(pkt *netsim.Packet) {
 	if !ok {
 		return
 	}
-	rs.timer.stop()
-	delete(h.recalls, rk)
-	rs.scat.recallsPending--
-	if rs.scat.recallsPending == 0 {
-		rs.scat.done = true
-		h.reapOutstanding()
-	}
-	h.failWait--
-	h.checkFailDone()
+	h.finishRecall(rk, rs)
 }
 
 func (h *Host) checkFailDone() {

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// twoHostCluster deploys a minimal 1Pipe fabric with a bounded, fixed send
+// window so MaxRetx exhaustion is easy to provoke.
+func twoHostCluster(hosts int, maxRetx int) *Cluster {
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: hosts, SpinesPerPod: 1, Cores: 1}, 1)
+	ccfg := DefaultConfig()
+	ccfg.InitCwnd = 4
+	ccfg.MaxCwnd = 4
+	ccfg.MaxRetx = maxRetx
+	return Deploy(netsim.New(cfg), ccfg)
+}
+
+func TestMaxRetxRestoresWindowSlots(t *testing.T) {
+	// A black-holed destination must not wedge the send window: packets
+	// that exhaust MaxRetx give their slots back, so scatterings queued
+	// behind them still launch. Before the fix the first window's worth of
+	// packets sat in unacked[1] forever and the other half never launched.
+	cl := twoHostCluster(2, 2)
+	type stuckKey struct {
+		dst netsim.ProcID
+		ts  sim.Time
+	}
+	reports := make(map[stuckKey]int)
+	cl.Hosts[0].OnStuck = func(src, dst netsim.ProcID, ts sim.Time) {
+		reports[stuckKey{dst, ts}]++
+	}
+	const total = 8 // window is 4: half must wait for freed slots
+	cl.Net.Eng.At(50*sim.Microsecond, func() {
+		cl.Net.G.KillNode(cl.Net.G.Host(1))
+		for i := 0; i < total; i++ {
+			if err := cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}}); err != nil {
+				t.Errorf("send %d: %v", i, err)
+			}
+		}
+	})
+	cl.Run(100 * sim.Millisecond)
+
+	h := cl.Hosts[0]
+	c := h.conns[connKey{src: 0, dst: 1}]
+	if c == nil {
+		t.Fatal("no connection state")
+	}
+	// Every scattering has a distinct timestamp, so full escalation means
+	// one report per scattering — and the dedup means exactly one.
+	if len(reports) != total {
+		t.Fatalf("OnStuck covered %d scatterings, want %d (queued sends never launched?)", len(reports), total)
+	}
+	for k, n := range reports {
+		if n != 1 {
+			t.Errorf("OnStuck fired %d times for (dst=%d, ts=%v), want exactly 1", n, k.dst, k.ts)
+		}
+	}
+	if h.Stats.StuckReports != total {
+		t.Errorf("StuckReports=%d, want %d", h.Stats.StuckReports, total)
+	}
+	// The window must be fully restored.
+	if c.inflight != 0 || c.reserved != 0 {
+		t.Errorf("window leaked: inflight=%d reserved=%d", c.inflight, c.reserved)
+	}
+	if got, want := c.available(), c.window(); got != want {
+		t.Errorf("available()=%d, want full window %d", got, want)
+	}
+	if len(c.unacked[1]) != 0 {
+		t.Errorf("%d packets still in unacked[1] after exhaustion", len(c.unacked[1]))
+	}
+	if len(c.stuckPkts) != total {
+		t.Errorf("%d packets parked, want %d", len(c.stuckPkts), total)
+	}
+	// Fresh traffic on other connections is unaffected; the same connection
+	// accepts and launches new scatterings into the restored window.
+	sentBefore := h.Stats.MsgsSent
+	if err := cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}}); err != nil {
+		t.Fatalf("post-exhaustion send: %v", err)
+	}
+	cl.Run(sim.Millisecond)
+	if h.Stats.MsgsSent != sentBefore+1 {
+		t.Errorf("post-exhaustion scattering never launched: MsgsSent %d -> %d", sentBefore, h.Stats.MsgsSent)
+	}
+}
+
+func TestMaxRetxStuckPacketCompletedByLateAck(t *testing.T) {
+	// A parked packet stays ACK-completable: §5.2 Controller Forwarding
+	// relays it out of band and the forwarded ACK must finish the
+	// scattering and release the commit floor.
+	cl := twoHostCluster(2, 2)
+	cl.Hosts[0].OnStuck = func(netsim.ProcID, netsim.ProcID, sim.Time) {}
+	cl.Net.Eng.At(50*sim.Microsecond, func() {
+		cl.Net.G.KillNode(cl.Net.G.Host(1))
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}})
+	})
+	cl.Run(50 * sim.Millisecond)
+
+	h := cl.Hosts[0]
+	c := h.conns[connKey{src: 0, dst: 1}]
+	if c == nil || len(c.stuckPkts) != 1 {
+		t.Fatalf("expected exactly one parked packet, conn=%v", c)
+	}
+	if len(h.outstanding) != 1 {
+		t.Fatalf("scattering should still block the commit floor, outstanding=%d", len(h.outstanding))
+	}
+	// The parked packet must be visible to Controller Forwarding.
+	if pkts := h.PendingTo(0, 1); len(pkts) != 1 {
+		t.Fatalf("PendingTo sees %d packets, want 1", len(pkts))
+	}
+	var psn uint32
+	for p := range c.stuckPkts {
+		psn = p
+	}
+	// Deliver the (controller-relayed) ACK.
+	h.HandlePacket(&netsim.Packet{Kind: netsim.KindAck, Src: 1, Dst: 0, Reliable: true, PSN: psn})
+	cl.Run(sim.Millisecond)
+	if len(c.stuckPkts) != 0 {
+		t.Error("parked packet not cleared by late ACK")
+	}
+	if len(h.outstanding) != 0 {
+		t.Error("scattering still blocks the commit floor after late ACK")
+	}
+	if c.inflight != 0 {
+		t.Errorf("inflight=%d after late ACK, want 0 (slot was already freed at parking)", c.inflight)
+	}
+}
+
+func TestRecallMaxRetxCleansUp(t *testing.T) {
+	// A recall whose receiver never answers must stop blocking the commit
+	// floor and the failure-completion callback once MaxRetx is exhausted.
+	// Before the fix the recall stayed registered, recallsPending never hit
+	// zero, and ApplyFailure's done callback never fired.
+	cl := twoHostCluster(3, 3)
+	type stuckKey struct {
+		dst netsim.ProcID
+		ts  sim.Time
+	}
+	reports := make(map[stuckKey]int)
+	cl.Hosts[0].OnStuck = func(src, dst netsim.ProcID, ts sim.Time) {
+		reports[stuckKey{dst, ts}]++
+	}
+	doneFired := false
+	eng := cl.Net.Eng
+	eng.At(50*sim.Microsecond, func() {
+		// Both receivers go dark: host 2 is declared failed by the
+		// controller; host 1 is merely unreachable, so the recall sent to
+		// it during the abort can never be acknowledged.
+		cl.Net.G.KillNode(cl.Net.G.Host(1))
+		cl.Net.G.KillNode(cl.Net.G.Host(2))
+		cl.Procs[0].SendReliable([]Message{{Dst: 1, Size: 64}, {Dst: 2, Size: 64}})
+	})
+	eng.At(100*sim.Microsecond, func() {
+		cl.Hosts[0].ApplyFailure(map[netsim.ProcID]sim.Time{2: eng.Now()}, func() { doneFired = true })
+	})
+	cl.Run(100 * sim.Millisecond)
+
+	h := cl.Hosts[0]
+	if !doneFired {
+		t.Error("ApplyFailure completion never fired (recall state leaked)")
+	}
+	if len(h.recalls) != 0 {
+		t.Errorf("%d recalls still registered after exhaustion", len(h.recalls))
+	}
+	if h.failWait != 0 {
+		t.Errorf("failWait=%d, want 0", h.failWait)
+	}
+	if len(h.outstanding) != 0 {
+		t.Errorf("aborted scattering still blocks the commit floor, outstanding=%d", len(h.outstanding))
+	}
+	for k, n := range reports {
+		if n != 1 {
+			t.Errorf("OnStuck fired %d times for (dst=%d, ts=%v), want exactly 1", n, k.dst, k.ts)
+		}
+	}
+	if h.Stats.StuckReports == 0 {
+		t.Error("recall exhaustion never escalated via OnStuck")
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// benchSendPath drives the full send → deliver pipeline on a two-host
+// simulated fabric, one reliable scattering per iteration. Comparing the
+// traced and untraced variants bounds the hot-path cost of the
+// observability hooks (the ISSUE's ≤2% budget for tracing disabled).
+func benchSendPath(b *testing.B, traced bool) {
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1}, 1)
+	cl := Deploy(netsim.New(cfg), DefaultConfig())
+	if traced {
+		cl.EnableTracing()
+	}
+	cl.Procs[1].OnDeliver = func(Delivery) {}
+	cl.Run(50 * sim.Microsecond) // settle beacons
+	msg := []Message{{Dst: 1, Size: 256}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cl.Procs[0].SendReliable(msg); err != nil {
+			b.Fatal(err)
+		}
+		cl.Run(2 * sim.Microsecond)
+	}
+}
+
+func BenchmarkSendPathTracingDisabled(b *testing.B) { benchSendPath(b, false) }
+func BenchmarkSendPathTracingEnabled(b *testing.B)  { benchSendPath(b, true) }
+
+// sink defeats dead-code elimination in BenchmarkObsBranch.
+var sink bool
+
+// BenchmarkObsBranch isolates the per-record-site cost when no tracer is
+// installed: the single predictable branch of Trace.On.
+func BenchmarkObsBranch(b *testing.B) {
+	var tr *obs.Trace
+	for i := 0; i < b.N; i++ {
+		sink = tr.On()
+	}
+}

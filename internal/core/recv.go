@@ -4,6 +4,7 @@ import (
 	"container/heap"
 
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 )
 
@@ -15,6 +16,9 @@ type pending struct {
 	data     any
 	size     int
 	reliable bool
+	// enqAt is the reassembly-complete time, recorded only while tracing;
+	// the enqueue → deliver gap is the barrier wait (obs.SpanBarrierWait).
+	enqAt sim.Time
 }
 
 // deliveryHeap orders messages by (timestamp, sender, PSN) — the total
@@ -338,6 +342,13 @@ func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {
 		ts: pkt.MsgTS, src: pkt.Src, dst: pkt.Dst, psn: pkt.PSN,
 		data: pkt.Payload, size: size, reliable: pkt.Reliable,
 	}
+	if h.Obs.On() {
+		p.enqAt = h.wire.Now()
+		// MsgTS is the sender's launch timestamp; transit is measured
+		// against this (skew-bounded) receiver clock.
+		h.Obs.Rec(obs.SpanNetTransit, p.enqAt-p.ts)
+		h.Obs.Rec(obs.SpanSwitchQueue, pkt.QueueWait)
+	}
 	if p.reliable {
 		heap.Push(&h.relQ, p)
 	} else {
@@ -413,6 +424,11 @@ func (h *Host) deliver(p *pending) {
 	h.Stats.BufferedMsgs--
 	h.Stats.BufferedBytes -= int64(p.size)
 	h.Stats.MsgsDelivered++
+	if p.enqAt > 0 && h.Obs.On() {
+		now := h.wire.Now()
+		h.Obs.Rec(obs.SpanBarrierWait, now-p.enqAt)
+		h.Obs.Rec(obs.SpanE2E, now-p.ts)
+	}
 	proc := h.procs[p.dst]
 	if proc == nil || proc.OnDeliver == nil {
 		return

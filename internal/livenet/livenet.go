@@ -13,11 +13,14 @@
 package livenet
 
 import (
+	"fmt"
+	"net/http"
 	"sync"
 	"time"
 
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 )
 
@@ -31,6 +34,11 @@ type Config struct {
 	BeaconInterval time.Duration
 	// Endpoint overrides the lib1pipe configuration.
 	Endpoint *core.Config
+	// Trace installs a lifecycle tracer (internal/obs) on every host.
+	Trace bool
+	// DebugAddr, if non-empty, serves /debug/vars, /debug/pprof and the
+	// live /debug/onepipe span breakdown on this address.
+	DebugAddr string
 }
 
 // DefaultConfig returns a small fabric with millisecond-scale timing
@@ -58,6 +66,9 @@ type Net struct {
 	// Switch state: per-host-uplink barrier registers.
 	regBE, regC []sim.Time
 	outBE, outC sim.Time
+
+	traces []*obs.Trace
+	debug  *http.Server
 
 	stopOnce sync.Once
 }
@@ -117,6 +128,10 @@ func New(cfg Config) *Net {
 	n.post(func() {
 		for h := 0; h < cfg.Hosts; h++ {
 			host := core.NewHost(h, hostWire{n: n, host: h}, ecfg)
+			if cfg.Trace {
+				host.Obs = obs.NewTrace()
+				n.traces = append(n.traces, host.Obs)
+			}
 			n.hosts = append(n.hosts, host)
 			host.Start()
 			for p := 0; p < cfg.ProcsPerHost; p++ {
@@ -127,6 +142,12 @@ func New(cfg Config) *Net {
 		close(ready)
 	})
 	<-ready
+
+	if cfg.DebugAddr != "" {
+		if srv, err := obs.ServeDebug(cfg.DebugAddr, n.traceMap); err == nil {
+			n.debug = srv
+		}
+	}
 
 	// Switch beacon ticker: relay the aggregated barrier to every host.
 	n.wg.Add(1)
@@ -232,6 +253,26 @@ func (n *Net) relayBeacons() {
 // NumProcs returns the process count.
 func (n *Net) NumProcs() int { return len(n.procs) }
 
+// Traces returns the per-host lifecycle tracers (empty unless Config.Trace);
+// feed them to obs.Merge for the fabric-wide breakdown.
+func (n *Net) Traces() []*obs.Trace { return n.traces }
+
+// DebugAddr returns the bound debug-server address, or "" when disabled.
+func (n *Net) DebugAddr() string {
+	if n.debug == nil {
+		return ""
+	}
+	return n.debug.Addr
+}
+
+func (n *Net) traceMap() map[string]*obs.Trace {
+	out := make(map[string]*obs.Trace)
+	for i, t := range n.traces {
+		out[fmt.Sprintf("host%d", i)] = t
+	}
+	return out
+}
+
 // Do runs fn on the fabric's event loop and waits for it — the only safe
 // way to touch endpoint state from outside.
 func (n *Net) Do(fn func()) {
@@ -266,6 +307,9 @@ func (n *Net) Send(p int, reliable bool, msgs []core.Message) error {
 // Stop shuts the fabric down.
 func (n *Net) Stop() {
 	n.stopOnce.Do(func() {
+		if n.debug != nil {
+			n.debug.Close()
+		}
 		n.Do(func() {
 			for _, h := range n.hosts {
 				h.Stop()

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"onepipe/internal/clock"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 	"onepipe/internal/topology"
 )
@@ -98,6 +99,10 @@ type Network struct {
 	// OnLinkDead, if set, is invoked when a switch's dead-link scanner
 	// removes an input link — the controller's failure Detect signal.
 	OnLinkDead func(l topology.Link, lastCommit sim.Time)
+
+	// Obs, when armed by EnableObs, receives per-switch barrier-lag and
+	// egress-queue-depth gauge samples.
+	Obs *obs.Trace
 
 	tickers []*sim.Ticker
 }
@@ -225,6 +230,7 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 		n.Stats.QueueDrop++
 		return
 	}
+	pkt.QueueWait += qdelay
 	if n.Cfg.ECNThreshold > 0 && qdelay > n.Cfg.ECNThreshold {
 		pkt.ECN = true
 		n.Stats.ECNMarks++
@@ -538,6 +544,44 @@ func (n *Network) startDeadLinkScanner() {
 		}
 	})
 	n.tickers = append(n.tickers, tk)
+}
+
+// EnableObs arms a sampler that records, every interval, how far each
+// switch's aggregated barriers trail the true simulation clock
+// (SpanSwitchLagBE/C — the in-network contribution to delivery latency)
+// and the current queueing backlog of every switch egress link
+// (SpanSwitchQDepth). Host nodes are skipped: their barrier state lives in
+// the core endpoint, not in the fabric. Returns the trace for merging into
+// experiment reports.
+func (n *Network) EnableObs(interval sim.Time) *obs.Trace {
+	if n.Obs != nil {
+		return n.Obs
+	}
+	if interval <= 0 {
+		interval = n.Cfg.BeaconInterval
+	}
+	n.Obs = obs.NewTrace()
+	tk := sim.NewTicker(n.Eng, interval, 0, func() {
+		now := n.Eng.Now()
+		for i := range n.nodes {
+			node := &n.nodes[i]
+			if n.G.Node(node.id).Kind == topology.KindHost || n.G.NodeDead(node.id) {
+				continue
+			}
+			n.Obs.Rec(obs.SpanSwitchLagBE, now-node.outBE)
+			n.Obs.Rec(obs.SpanSwitchLagC, now-node.outC)
+			for _, lid := range node.out {
+				l := &n.links[lid]
+				depth := l.busy - now
+				if depth < 0 {
+					depth = 0
+				}
+				n.Obs.Rec(obs.SpanSwitchQDepth, depth)
+			}
+		}
+	})
+	n.tickers = append(n.tickers, tk)
+	return n.Obs
 }
 
 // CommitGatedLinks lists input links that the best-effort scanner has

@@ -123,6 +123,10 @@ type Packet struct {
 	// SentAt is the true (simulation) time the packet left the sender,
 	// for latency accounting.
 	SentAt sim.Time
+	// QueueWait accumulates the time this packet spent queued behind other
+	// traffic on every link along its path. Simulator-side accounting only;
+	// it is not part of the wire format and never crosses a real NIC.
+	QueueWait sim.Time
 }
 
 func (p *Packet) String() string {

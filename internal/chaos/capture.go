@@ -1,0 +1,42 @@
+package chaos
+
+import (
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/wire"
+)
+
+// CaptureWirePackets runs a short, fault-heavy plan and returns encoded
+// wire-format frames of the packets delivered to hosts — beacons carrying
+// live barriers, recalls and recall ACKs from the abort path, commit
+// messages, coalesced ACKs and commit-eliding data packets. The wire fuzz
+// corpus seeds itself from these (satisfying "headers captured from chaos
+// runs" with real protocol state rather than hand-built constants).
+func CaptureWirePackets(seed int64, perKind int) [][]byte {
+	p := NewPlan(seed)
+	// Force the interesting machinery regardless of what the seed drew:
+	// a crash produces recalls, loss produces retransmissions and NAKs.
+	p.Topo.Pods, p.Topo.RacksPerPod, p.Topo.HostsPerRack = 1, 2, 3
+	p.Topo.SpinesPerPod, p.Topo.Cores = 1, 1
+	p.RunFor = 4 * sim.Millisecond
+	p.Workload.Stop = p.RunFor - 2*sim.Millisecond
+	p.Workload.ReliableFrac = 0.7
+	p.Workload.MaxFanout = 3 // multi-member scatterings, so aborts issue recalls
+	p.BaseLoss = 0.02
+	p.Jitter = 2 * sim.Microsecond // stragglers below the floor draw NAKs
+	p.Faults = []Fault{
+		{At: 800 * sim.Microsecond, Kind: FaultHostCrash, Host: p.Topo.NumHosts() - 1},
+		{At: 1200 * sim.Microsecond, Kind: FaultLossBurst, Dur: 500 * sim.Microsecond, Rate: 0.2},
+	}
+
+	counts := make(map[netsim.Kind]int)
+	var out [][]byte
+	runWith(p, func(pkt *netsim.Packet) {
+		if counts[pkt.Kind] >= perKind {
+			return
+		}
+		counts[pkt.Kind]++
+		out = append(out, wire.Encode(pkt, nil))
+	})
+	return out
+}

@@ -1,0 +1,339 @@
+package chaos
+
+import (
+	"fmt"
+
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// Violation is one failed invariant, named after the checker that found it.
+type Violation struct {
+	Invariant string
+	Detail    string
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Partition exemption guards: a scattering submitted inside
+// [Start-partGuardBefore, End+partGuardAfter) of any partition window is
+// exempt from the cross-receiver and atomicity checks — during a partition
+// the paper only promises local order for forwarded traffic (§5.2
+// Controller Forwarding caveat). Everything else (at-most-once, causality,
+// barrier gating, per-receiver sortedness) is enforced unconditionally.
+const (
+	partGuardBefore = 1 * sim.Millisecond
+	partGuardAfter  = 5 * sim.Millisecond / 2
+)
+
+// Check validates every invariant against a run's logs and returns all
+// violations found (empty = the run upheld the paper's guarantees).
+//
+// Invariant catalog (see docs/testing.md for the paper citations):
+//  1. local-order     — each receiver's log is strictly sorted by (ts, src);
+//                       per plane under DeliverSeparate, across both planes
+//                       under DeliverUnified (§2.1, DESIGN deviation #4).
+//  2. pairwise-order  — any two receivers deliver their common messages in
+//                       the same relative order (§2.1 total order).
+//  3. causality       — a message timestamped T is delivered only once the
+//                       receiver's clock passed T (§2.1, §3).
+//  4. at-most-once    — no receiver delivers the same scattering member
+//                       twice (§4.1 dedup + §5.1 commit dedup).
+//  5. atomicity       — a reliable scattering from a correct sender is
+//                       delivered at all of its correct destinations or at
+//                       none, and in the latter case the sender got a
+//                       send-failure callback (§5.1/§5.2 restricted
+//                       failure atomicity).
+//  6. barrier-gate    — every delivery was covered by the barrier the
+//                       receiver had announced at that instant (§4.1).
+//  7. discard-floor   — no reliable message from a failed process is
+//                       delivered beyond its failure timestamp (§5.2
+//                       Discard).
+//  8. wire-barrier    — on every host downlink, no data packet's message
+//                       timestamp falls below a barrier the link already
+//                       carried (the §4.1 per-link barrier promise; chip
+//                       mode only). Catches in-switch stamp/wire-order
+//                       inversions directly.
+func Check(r *Result) []Violation {
+	var out []Violation
+	add := func(inv, format string, args ...any) {
+		if len(out) < 64 { // cap: one broken invariant can fire thousands of times
+			out = append(out, Violation{Invariant: inv, Detail: fmt.Sprintf(format, args...)})
+		}
+	}
+
+	sendAt := make(map[MsgID]sim.Time, len(r.Sends))
+	sendRec := make(map[MsgID]*SendRec, len(r.Sends))
+	for i := range r.Sends {
+		s := &r.Sends[i]
+		if s.Refused {
+			continue
+		}
+		if _, ok := sendRec[s.ID]; !ok {
+			sendRec[s.ID] = s
+			sendAt[s.ID] = s.At
+		}
+	}
+	exempt := func(id MsgID) bool {
+		if r.Forwarded[id] {
+			// Controller Forwarding relayed (part of) this scattering: the
+			// §5.2 caveat applies regardless of which fault severed the path.
+			return true
+		}
+		if len(r.Partitions) == 0 {
+			return false
+		}
+		at, ok := sendAt[id]
+		if !ok {
+			return true // unknown provenance: don't guess
+		}
+		for _, w := range r.Partitions {
+			if at >= w.Start-partGuardBefore && at < w.End+partGuardAfter {
+				return true
+			}
+		}
+		return false
+	}
+
+	checkLocalOrder(r, add)
+	checkPairwiseOrder(r, exempt, add)
+	checkCausalityAndGate(r, add)
+	checkAtMostOnce(r, add)
+	checkAtomicity(r, sendRec, exempt, add)
+	checkDiscardFloor(r, add)
+	checkWire(r, exempt, add)
+	return out
+}
+
+// checkWire classifies the run's wire-level barrier-promise suspects. A
+// suspect is a genuine violation only for live traffic under normal
+// ordering: in-flight packets of failed processes cross the post-Resume
+// barrier jump legitimately, aborted (recalled) scatterings may have a
+// straggler retransmission below the commit barrier their sender already
+// released, and controller-forwarded traffic bypasses the fabric's
+// stamping entirely (§5.2).
+func checkWire(r *Result, exempt func(MsgID) bool, add func(string, string, ...any)) {
+	for _, s := range r.WireSuspects {
+		if int(s.Src) < len(r.CorrectProc) && !r.CorrectProc[s.Src] {
+			continue
+		}
+		if exempt(s.ID) || len(r.SendFails[s.ID]) > 0 {
+			continue
+		}
+		plane := "best-effort"
+		if s.Reliable {
+			plane = "reliable"
+		}
+		add("wire-barrier", "host %d @%v: %s data ts=%v from proc %d arrived after the link carried barrier %v (id=%v)",
+			s.Host, s.At, plane, s.TS, s.Src, s.Barrier, s.ID)
+	}
+}
+
+// key is the global total-order key: timestamps first, sender ID as the
+// tie-break (§2.1). Within one receiver log the pair is unique per
+// scattering, since a sender never reuses a timestamp.
+func keyLess(a, b DeliveryRec) bool {
+	if a.TS != b.TS {
+		return a.TS < b.TS
+	}
+	return a.Src < b.Src
+}
+
+func keyEq(a, b DeliveryRec) bool { return a.TS == b.TS && a.Src == b.Src }
+
+// classStreams splits a log the way the delivery mode defines order: one
+// merged stream under DeliverUnified, one stream per plane otherwise.
+func classStreams(mode core.DeliveryMode, log []DeliveryRec) [][]DeliveryRec {
+	if mode == core.DeliverUnified {
+		return [][]DeliveryRec{log}
+	}
+	var be, rel []DeliveryRec
+	for _, d := range log {
+		if d.Reliable {
+			rel = append(rel, d)
+		} else {
+			be = append(be, d)
+		}
+	}
+	return [][]DeliveryRec{be, rel}
+}
+
+func checkLocalOrder(r *Result, add func(string, string, ...any)) {
+	for pi, log := range r.Deliveries {
+		for si, stream := range classStreams(r.Plan.Mode, log) {
+			for i := 1; i < len(stream); i++ {
+				a, b := stream[i-1], stream[i]
+				if keyLess(b, a) || (keyEq(a, b) && a.ID != b.ID) {
+					add("local-order",
+						"receiver %d stream %d: %v/src=%d (id=%v) delivered after %v/src=%d",
+						pi, si, b.TS, b.Src, b.ID, a.TS, a.Src)
+				}
+			}
+		}
+	}
+}
+
+func checkPairwiseOrder(r *Result, exempt func(MsgID) bool, add func(string, string, ...any)) {
+	n := len(r.Deliveries)
+	for a := 0; a < n; a++ {
+		for _, sa := range classStreams(r.Plan.Mode, r.Deliveries[a]) {
+			idx := make(map[MsgID]int, len(sa))
+			for i, d := range sa {
+				idx[d.ID] = i
+			}
+			for b := a + 1; b < n; b++ {
+				for _, sb := range classStreams(r.Plan.Mode, r.Deliveries[b]) {
+					last, lastID := -1, MsgID{}
+					for _, d := range sb {
+						i, common := idx[d.ID]
+						if !common || exempt(d.ID) {
+							continue
+						}
+						if i < last {
+							add("pairwise-order",
+								"receivers %d and %d disagree: %v before %v at one, after at the other",
+								a, b, d.ID, lastID)
+							break
+						}
+						last, lastID = i, d.ID
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkCausalityAndGate(r *Result, add func(string, string, ...any)) {
+	unified := r.Plan.Mode == core.DeliverUnified
+	for pi, log := range r.Deliveries {
+		for _, d := range log {
+			if d.ClockAt < d.TS {
+				add("causality", "receiver %d delivered ts=%v with local clock %v (id=%v)",
+					pi, d.TS, d.ClockAt, d.ID)
+			}
+			switch {
+			case unified:
+				if d.TS > d.BarBE-1 || d.TS > d.BarC {
+					add("barrier-gate", "receiver %d: unified delivery ts=%v above barriers (be=%v c=%v, id=%v)",
+						pi, d.TS, d.BarBE, d.BarC, d.ID)
+				}
+			case d.Reliable:
+				if d.TS > d.BarC {
+					add("barrier-gate", "receiver %d: reliable delivery ts=%v above commit barrier %v (id=%v)",
+						pi, d.TS, d.BarC, d.ID)
+				}
+			default:
+				if d.TS >= d.BarBE {
+					add("barrier-gate", "receiver %d: best-effort delivery ts=%v at/above barrier %v (id=%v)",
+						pi, d.TS, d.BarBE, d.ID)
+				}
+			}
+		}
+	}
+}
+
+func checkAtMostOnce(r *Result, add func(string, string, ...any)) {
+	for pi, log := range r.Deliveries {
+		seen := make(map[MsgID]bool, len(log))
+		for _, d := range log {
+			if seen[d.ID] {
+				add("at-most-once", "receiver %d delivered %v twice", pi, d.ID)
+			}
+			seen[d.ID] = true
+		}
+	}
+}
+
+func checkAtomicity(r *Result, sends map[MsgID]*SendRec, exempt func(MsgID) bool, add func(string, string, ...any)) {
+	delivered := make(map[MsgID]map[netsim.ProcID]bool)
+	for pi, log := range r.Deliveries {
+		for _, d := range log {
+			set := delivered[d.ID]
+			if set == nil {
+				set = make(map[netsim.ProcID]bool)
+				delivered[d.ID] = set
+			}
+			set[netsim.ProcID(pi)] = true
+		}
+	}
+	for id, s := range sends {
+		if !s.Reliable || !r.CorrectProc[s.Src] || exempt(id) {
+			continue
+		}
+		// A destination severed from the sender in the end-of-run fabric is
+		// Controller Forwarding territory: delivery may still be pending on
+		// the management network when the run ends, and the scattering's
+		// atomicity is restricted exactly as during a partition (§5.2).
+		severed := false
+		for _, dst := range s.Dsts {
+			if !r.PathOK[s.Src][dst] {
+				severed = true
+			}
+		}
+		if severed {
+			continue
+		}
+		var correct, got []netsim.ProcID
+		for _, dst := range s.Dsts {
+			if !r.CorrectProc[dst] {
+				continue // §5.2 caveat: a failed receiver may miss the scattering
+			}
+			correct = append(correct, dst)
+			if delivered[id][dst] {
+				got = append(got, dst)
+			}
+		}
+		if len(correct) == 0 {
+			continue
+		}
+		failedSet := r.SendFails[id]
+		switch {
+		case len(got) == 0:
+			if len(failedSet) == 0 {
+				add("atomicity", "reliable %v (src=%d, dsts=%v) neither delivered nor failure-reported",
+					id, s.Src, s.Dsts)
+			}
+		case len(got) < len(correct):
+			add("atomicity", "reliable %v partially delivered: %v of correct set %v", id, got, correct)
+		default:
+			for _, dst := range correct {
+				if failedSet[dst] {
+					add("atomicity", "reliable %v delivered at %d yet failure-reported for it", id, dst)
+				}
+			}
+		}
+	}
+}
+
+func checkDiscardFloor(r *Result, add func(string, string, ...any)) {
+	fts := make(map[netsim.ProcID]sim.Time)
+	for _, rec := range r.Failures {
+		for p, t := range rec.Procs {
+			if old, ok := fts[p]; !ok || t < old {
+				fts[p] = t
+			}
+		}
+	}
+	if len(fts) == 0 {
+		return
+	}
+	for pi, log := range r.Deliveries {
+		if !r.CorrectProc[netsim.ProcID(pi)] {
+			continue // §5.2 Discard binds correct processes only; a failed
+			// host may keep delivering co-located traffic to itself
+		}
+		for _, d := range log {
+			if !d.Reliable || r.Forwarded[d.ID] {
+				// Controller Forwarding bypasses commit-barrier gating, so
+				// the fts derivation ("nothing above the last commit barrier
+				// was delivered") does not cover forwarded traffic (§5.2).
+				continue
+			}
+			if t, failed := fts[d.Src]; failed && d.TS > t {
+				add("discard-floor", "receiver %d delivered reliable ts=%v from failed proc %d (fts=%v)",
+					pi, d.TS, d.Src, t)
+			}
+		}
+	}
+}

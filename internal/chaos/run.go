@@ -1,0 +1,415 @@
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"math/rand"
+
+	"onepipe/internal/controller"
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// MsgID identifies one scattering across the whole run: the sending process
+// plus a per-process sequence number. It rides in every message payload so
+// the checkers can correlate send records with delivery logs.
+type MsgID struct {
+	Src netsim.ProcID
+	Seq int32
+}
+
+// DeliveryRec is one entry of a receiver's delivery log, annotated with the
+// receiver-local state the checkers need: its clock and its announced
+// barriers at the instant of delivery.
+type DeliveryRec struct {
+	TS       sim.Time
+	Src      netsim.ProcID
+	ID       MsgID
+	Reliable bool
+	ClockAt  sim.Time
+	BarBE    sim.Time
+	BarC     sim.Time
+}
+
+// SendRec is one submitted scattering.
+type SendRec struct {
+	ID       MsgID
+	Src      netsim.ProcID
+	Dsts     []netsim.ProcID
+	Reliable bool
+	// At is the sender's clock at submission — used to place the
+	// scattering relative to partition windows.
+	At sim.Time
+	// Refused is set when the send API returned an error (destination
+	// already known failed, host stopped); refused sends carry no
+	// delivery obligation.
+	Refused bool
+}
+
+// Window is a half-open fault interval [Start, End).
+type Window struct {
+	Start, End sim.Time
+}
+
+// WireSuspect is a §4.1 barrier-promise breach observed on a host downlink:
+// a data packet whose message timestamp lies below a barrier the link had
+// already carried. The checker classifies suspects post-run — in-flight
+// traffic of failed, aborted or controller-forwarded scatterings crosses a
+// barrier jump legitimately; anything else means a switch let a
+// later-stamped packet overtake an earlier one (DESIGN deviation #8).
+type WireSuspect struct {
+	Host     int
+	Src      netsim.ProcID
+	ID       MsgID
+	TS       sim.Time
+	Barrier  sim.Time
+	Reliable bool
+	At       sim.Time
+}
+
+// Result is everything a run produced, ready for the checker layer.
+type Result struct {
+	Plan       Plan
+	Deliveries [][]DeliveryRec // indexed by receiver process
+	Sends      []SendRec
+	// SendFails collects the scattering members reported through
+	// OnSendFail, as a set keyed by scattering and destination.
+	SendFails map[MsgID]map[netsim.ProcID]bool
+	// ProcFailSeen records, per observer process, the failure
+	// notifications (Callback step) it received.
+	ProcFailSeen map[netsim.ProcID]map[netsim.ProcID]sim.Time
+	// Failures is the controller's replicated failure log.
+	Failures []controller.FailureRecord
+	// CorrectProc marks processes on hosts that neither crashed nor ended
+	// the run disconnected from the fabric.
+	CorrectProc []bool
+	// Partitions lists the partition fault windows of the schedule.
+	Partitions []Window
+	// Forwarded marks scatterings the controller relayed (§5.2 Controller
+	// Forwarding) — deliveries of these are only locally ordered.
+	Forwarded map[MsgID]bool
+	// PathOK[a][b] reports whether, in the end-of-run topology, a live
+	// fabric path from proc a's host to proc b's host exists. A severed
+	// pair means traffic between them ran (or is still pending) on the
+	// controller's management network, under the partition caveat.
+	PathOK [][]bool
+	// WireSuspects are candidate per-link barrier-promise breaches seen on
+	// host downlinks (chip mode only); see WireSuspect.
+	WireSuspects []WireSuspect
+
+	ForwardedMsgs uint64
+	Stats         core.HostStats
+	NetStats      netsim.Stats
+}
+
+// Run executes a plan to completion and returns the recorded logs. A given
+// plan always produces byte-identical delivery logs (see Digest); TestChaos
+// asserts this on every seed.
+func Run(p Plan) *Result { return runWith(p, nil) }
+
+// runWith is Run plus an optional packet tap observing every packet
+// delivered to any host (used to harvest wire-format fuzz seeds).
+func runWith(p Plan, tap func(*netsim.Packet)) *Result {
+	net := netsim.New(p.NetConfig())
+	cl := core.Deploy(net, p.CoreConfig())
+	ctrl := controller.New(net, cl, controller.DefaultConfig())
+	eng := net.Eng
+
+	nprocs := net.NumProcs()
+	res := &Result{
+		Plan:         p,
+		Deliveries:   make([][]DeliveryRec, nprocs),
+		SendFails:    make(map[MsgID]map[netsim.ProcID]bool),
+		ProcFailSeen: make(map[netsim.ProcID]map[netsim.ProcID]sim.Time),
+		CorrectProc:  make([]bool, nprocs),
+		Forwarded:    make(map[MsgID]bool),
+	}
+	ctrl.OnForward = func(pkt *netsim.Packet) {
+		if id, ok := pkt.Payload.(MsgID); ok {
+			res.Forwarded[id] = true
+		}
+	}
+
+	// Wire-level §4.1 probe on every host downlink: barriers carried by a
+	// link promise that no later message timestamp falls below them. A
+	// stamp-order/wire-order inversion inside a switch shows up here long
+	// before it happens to line up into an end-to-end misdelivery — this is
+	// the chaos-harness port of netsim's TestBarrierInvariantSweep check.
+	// Only chip mode rewrites data barriers in flight, so only chip mode
+	// makes the per-packet registers meaningful.
+	chip := net.Cfg.Mode == netsim.ModeChip
+	maxBE := make([]sim.Time, len(cl.Hosts))
+	maxC := make([]sim.Time, len(cl.Hosts))
+	for hi := range cl.Hosts {
+		hi := hi
+		rx := cl.Hosts[hi].HandlePacket
+		net.AttachHost(hi, func(pkt *netsim.Packet) {
+			if tap != nil {
+				tap(pkt)
+			}
+			if chip {
+				if pkt.Kind == netsim.KindData && len(res.WireSuspects) < 256 {
+					bar := maxBE[hi]
+					if pkt.Reliable {
+						bar = maxC[hi]
+					}
+					if pkt.MsgTS < bar {
+						id, _ := pkt.Payload.(MsgID)
+						res.WireSuspects = append(res.WireSuspects, WireSuspect{
+							Host: hi, Src: pkt.Src, ID: id, TS: pkt.MsgTS,
+							Barrier: bar, Reliable: pkt.Reliable, At: eng.Now(),
+						})
+					}
+				}
+				if pkt.BarrierBE > maxBE[hi] {
+					maxBE[hi] = pkt.BarrierBE
+				}
+				if pkt.BarrierC > maxC[hi] {
+					maxC[hi] = pkt.BarrierC
+				}
+			}
+			rx(pkt)
+		})
+	}
+
+	// Recorders. OnDeliver appends to the per-process log; the annotations
+	// (clock, barriers) are all deterministic functions of the event order.
+	for i := 0; i < nprocs; i++ {
+		i := i
+		proc := cl.Procs[i]
+		host := cl.Hosts[net.HostOfProc(proc.ID)]
+		proc.OnDeliver = func(d core.Delivery) {
+			be, c := host.Barriers()
+			res.Deliveries[i] = append(res.Deliveries[i], DeliveryRec{
+				TS: d.TS, Src: d.Src, ID: d.Data.(MsgID), Reliable: d.Reliable,
+				ClockAt: proc.Timestamp(), BarBE: be, BarC: c,
+			})
+		}
+		proc.OnSendFail = func(sf core.SendFailure) {
+			id, ok := sf.Data.(MsgID)
+			if !ok {
+				return
+			}
+			set := res.SendFails[id]
+			if set == nil {
+				set = make(map[netsim.ProcID]bool)
+				res.SendFails[id] = set
+			}
+			set[sf.Dst] = true
+		}
+		proc.OnProcFail = func(fp netsim.ProcID, ts sim.Time) {
+			m := res.ProcFailSeen[proc.ID]
+			if m == nil {
+				m = make(map[netsim.ProcID]sim.Time)
+				res.ProcFailSeen[proc.ID] = m
+			}
+			if old, ok := m[fp]; !ok || ts < old {
+				m[fp] = ts
+			}
+		}
+	}
+
+	// Workload: every process runs an independent send loop off one shared,
+	// seed-derived RNG. Draw order is fixed by the deterministic event
+	// order, so the traffic replays exactly.
+	wrng := rand.New(rand.NewSource(p.Seed ^ 0x6a09e667f3bcc908))
+	seqs := make([]int32, nprocs)
+	var loop func(pi int)
+	loop = func(pi int) {
+		if eng.Now() >= p.Workload.Stop {
+			return
+		}
+		proc := cl.Procs[pi]
+		fan := 1 + wrng.Intn(p.Workload.MaxFanout)
+		if fan > nprocs-1 {
+			fan = nprocs - 1
+		}
+		var msgs []core.Message
+		seen := map[netsim.ProcID]bool{proc.ID: true}
+		id := MsgID{Src: proc.ID, Seq: seqs[pi]}
+		for len(msgs) < fan {
+			dst := netsim.ProcID(wrng.Intn(nprocs))
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			msgs = append(msgs, core.Message{Dst: dst, Data: id, Size: p.Workload.MsgBytes})
+		}
+		reliable := wrng.Float64() < p.Workload.ReliableFrac
+		rec := SendRec{ID: id, Src: proc.ID, Reliable: reliable, At: proc.Timestamp()}
+		for _, m := range msgs {
+			rec.Dsts = append(rec.Dsts, m.Dst)
+		}
+		var err error
+		if reliable {
+			err = proc.SendReliable(msgs)
+		} else {
+			err = proc.Send(msgs)
+		}
+		if err != nil {
+			rec.Refused = true
+		} else {
+			seqs[pi]++
+		}
+		res.Sends = append(res.Sends, rec)
+		gap := p.Workload.Interval/2 + sim.Time(wrng.Int63n(int64(p.Workload.Interval)))
+		eng.After(gap, func() { loop(pi) })
+	}
+	for pi := 0; pi < nprocs; pi++ {
+		pi := pi
+		// Stagger starts across one interval.
+		eng.After(sim.Time(wrng.Int63n(int64(p.Workload.Interval)))+sim.Microsecond, func() { loop(pi) })
+	}
+
+	// Fault executor: every fault is armed at an absolute engine time.
+	crashed := make(map[int]bool)
+	for _, f := range p.Faults {
+		f := f
+		switch f.Kind {
+		case FaultLossBurst:
+			eng.At(f.At, func() { net.Cfg.LossRate = f.Rate })
+			eng.At(f.At+f.Dur, func() { net.Cfg.LossRate = p.BaseLoss })
+		case FaultLinkDown:
+			eng.At(f.At, func() { net.G.KillLink(f.Link) })
+		case FaultHostCrash:
+			crashed[f.Host] = true
+			eng.At(f.At, func() {
+				net.G.KillNode(net.G.Host(f.Host))
+				cl.Hosts[f.Host].Stop()
+			})
+		case FaultSwitchCrash:
+			eng.At(f.At, func() { net.G.KillPhys(f.Phys) })
+		case FaultPartition:
+			res.Partitions = append(res.Partitions, Window{Start: f.At, End: f.At + f.Dur})
+			cut := partitionLinks(net.G, f.Pod)
+			eng.At(f.At, func() {
+				for _, lid := range cut {
+					net.G.KillLink(lid)
+				}
+			})
+			eng.At(f.At+f.Dur, func() {
+				for _, lid := range cut {
+					net.G.ReviveLink(lid)
+				}
+			})
+		}
+	}
+
+	cl.Run(p.RunFor)
+
+	// Post-run classification and state harvest.
+	for pi := 0; pi < nprocs; pi++ {
+		hi := net.HostOfProc(netsim.ProcID(pi))
+		res.CorrectProc[pi] = !crashed[hi] && hostConnected(net.G, net.G.Host(hi))
+	}
+	res.PathOK = procReachability(net)
+	res.Failures = ctrl.Failures
+	res.ForwardedMsgs = ctrl.ForwardedMsgs
+	res.Stats = cl.TotalStats()
+	res.NetStats = net.Stats
+	net.Stop()
+	return res
+}
+
+// procReachability BFSes the end-of-run graph over live links and nodes and
+// maps host-level reachability onto process pairs.
+func procReachability(net *netsim.Network) [][]bool {
+	g := net.G
+	nprocs := net.NumProcs()
+	hostReach := make(map[topology.NodeID]map[topology.NodeID]bool)
+	for hi := 0; hi < len(g.Hosts); hi++ {
+		from := g.Host(hi)
+		seen := map[topology.NodeID]bool{from: true}
+		if g.NodeDead(from) {
+			hostReach[from] = seen
+			continue
+		}
+		queue := []topology.NodeID{from}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, lid := range g.Out[cur] {
+				if g.LinkDead(lid) {
+					continue
+				}
+				to := g.Link(lid).To
+				if !seen[to] && !g.NodeDead(to) {
+					seen[to] = true
+					queue = append(queue, to)
+				}
+			}
+		}
+		hostReach[from] = seen
+	}
+	ok := make([][]bool, nprocs)
+	for a := 0; a < nprocs; a++ {
+		ok[a] = make([]bool, nprocs)
+		ha := g.Host(net.HostOfProc(netsim.ProcID(a)))
+		for b := 0; b < nprocs; b++ {
+			hb := g.Host(net.HostOfProc(netsim.ProcID(b)))
+			ok[a][b] = hostReach[ha][hb]
+		}
+	}
+	return ok
+}
+
+// partitionLinks returns both directions of the pod<->core cut.
+func partitionLinks(g *topology.Graph, pod int) []topology.LinkID {
+	var cut []topology.LinkID
+	for _, l := range g.Links {
+		switch l.Kind {
+		case topology.LinkSpineCoreUp:
+			if g.Node(l.From).Pod == pod {
+				cut = append(cut, l.ID)
+			}
+		case topology.LinkCoreSpineDown:
+			if g.Node(l.To).Pod == pod {
+				cut = append(cut, l.ID)
+			}
+		}
+	}
+	return cut
+}
+
+// Digest hashes the complete delivery logs — order, annotations and all.
+// Two runs of the same plan must produce the same digest; TestChaos treats
+// any difference as a determinism (replayability) bug in the stack.
+func (r *Result) Digest() string {
+	h := sha256.New()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for pi, log := range r.Deliveries {
+		w(int64(pi))
+		w(int64(len(log)))
+		for _, d := range log {
+			w(int64(d.TS))
+			w(int64(d.Src))
+			w(int64(d.ID.Src))
+			w(int64(d.ID.Seq))
+			if d.Reliable {
+				w(1)
+			} else {
+				w(0)
+			}
+			w(int64(d.ClockAt))
+			w(int64(d.BarBE))
+			w(int64(d.BarC))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TotalDeliveries counts delivered messages across all receivers.
+func (r *Result) TotalDeliveries() int {
+	n := 0
+	for _, log := range r.Deliveries {
+		n += len(log)
+	}
+	return n
+}

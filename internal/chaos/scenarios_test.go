@@ -1,0 +1,158 @@
+package chaos
+
+import (
+	"testing"
+
+	"onepipe/internal/core"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// craftedPlan is the common base for the directed scenarios below: a fixed
+// two-pod topology and a reliable-heavy workload, so the failure machinery
+// (abort, recall, forwarding) is guaranteed to have in-flight scatterings to
+// chew on when the scripted fault lands. Unlike NewPlan output the schedule
+// is hand-written, which is exactly the point — these tests pin specific
+// §5.2 paths rather than waiting for the seed stream to draw them.
+func craftedPlan(seed int64, faults ...Fault) Plan {
+	return Plan{
+		Seed:         seed,
+		Topo:         topology.ClosConfig{Pods: 2, RacksPerPod: 1, HostsPerRack: 3, SpinesPerPod: 1, Cores: 2},
+		ProcsPerHost: 1,
+		Mode:         core.DeliverSeparate,
+		MaxRetx:      6,
+		RunFor:       9 * sim.Millisecond,
+		Workload: Workload{
+			Interval:     4 * sim.Microsecond,
+			Stop:         4 * sim.Millisecond,
+			MaxFanout:    3,
+			ReliableFrac: 0.8,
+			MsgBytes:     128,
+		},
+		Faults: faults,
+	}
+}
+
+// TestScenarioHostCrashRecall drives the §5.2 abort path through the chaos
+// fault injector: a host fail-stops mid-workload, the controller detects and
+// broadcasts the failure, and surviving senders must recall the live members
+// of every scattering that included the dead host — with the full invariant
+// catalog (restricted atomicity included) holding on the result.
+func TestScenarioHostCrashRecall(t *testing.T) {
+	p := craftedPlan(7, Fault{At: 1500 * sim.Microsecond, Kind: FaultHostCrash, Host: 2})
+	r := runSeed(t, p)
+	if vios := Check(r); len(vios) > 0 {
+		failSeed(t, p, vios)
+	}
+	if len(r.Failures) == 0 {
+		t.Fatal("host crash produced no controller failure record")
+	}
+	crashed := false
+	for _, rec := range r.Failures {
+		for pid := range rec.Procs {
+			if int(pid) == 2 {
+				crashed = true
+			}
+		}
+	}
+	if !crashed {
+		t.Fatalf("failure records %v never declared the crashed host's proc", r.Failures)
+	}
+	if r.Stats.Recalled == 0 {
+		t.Fatal("no scattering was recalled — the abort path never ran")
+	}
+	if len(r.SendFails) == 0 {
+		t.Fatal("no send-failure callback fired for the crashed destination")
+	}
+}
+
+// TestScenarioRecallExhaustion layers a partition under the crash so some
+// recalls themselves cannot complete: host 3 (pod 1) fail-stops while pod 0
+// is cut off from the core layer, so a pod-1 sender aborting a scattering
+// that spanned both pods sends its recall to a live-but-unreachable pod-0
+// member. The recall retransmits into the void, exhausts MaxRetx, and must
+// resolve via OnStuck escalation instead of wedging the failure round (the
+// resendRecall → reportStuck → finishRecall path pinned unit-level in
+// core's TestLateRecallAckAfterMaxRetx).
+func TestScenarioRecallExhaustion(t *testing.T) {
+	p := craftedPlan(11,
+		Fault{At: 1400 * sim.Microsecond, Kind: FaultPartition, Pod: 0, Dur: 1500 * sim.Microsecond},
+		Fault{At: 1500 * sim.Microsecond, Kind: FaultHostCrash, Host: 3},
+	)
+	r := runSeed(t, p)
+	if vios := Check(r); len(vios) > 0 {
+		failSeed(t, p, vios)
+	}
+	if r.Stats.Recalled == 0 {
+		t.Fatal("no scattering was recalled")
+	}
+	if r.Stats.StuckReports == 0 {
+		t.Fatal("no OnStuck report — exhaustion path never ran")
+	}
+	// The run must still drain: every failure round completed, nothing
+	// outstanding, or the commit floor would be parked and atomicity
+	// checks above would have tripped on the silence.
+	if r.TotalDeliveries() == 0 {
+		t.Fatal("no deliveries at all")
+	}
+}
+
+// TestScenarioPartitionForwarding cuts one pod off the core layer for a
+// window. Both sides stay controller-reachable, so stuck cross-pod senders
+// must escalate into §5.2 Controller Forwarding, and forwarded scatterings
+// are delivered under the partition caveat without tripping any checker.
+func TestScenarioPartitionForwarding(t *testing.T) {
+	p := craftedPlan(3, Fault{
+		At: 1200 * sim.Microsecond, Kind: FaultPartition,
+		Pod: 0, Dur: 1500 * sim.Microsecond,
+	})
+	r := runSeed(t, p)
+	if vios := Check(r); len(vios) > 0 {
+		failSeed(t, p, vios)
+	}
+	if r.Stats.StuckReports == 0 {
+		t.Fatal("partition produced no OnStuck reports — escalation never triggered")
+	}
+	if r.ForwardedMsgs == 0 {
+		t.Fatal("partition produced no controller-forwarded messages (§5.2 Controller Forwarding)")
+	}
+	if len(r.Forwarded) == 0 {
+		t.Fatal("no scattering was marked forwarded — checker exemptions untested")
+	}
+}
+
+// TestScenarioCheckerSensitivity is the checkers' own negative control: a
+// corrupted delivery log (one receiver's entries swapped, one duplicated,
+// one delivered below the announced barrier) must trip the corresponding
+// invariants. Guards against the catalog silently checking nothing.
+func TestScenarioCheckerSensitivity(t *testing.T) {
+	p := craftedPlan(5)
+	r := Run(p)
+	if vios := Check(r); len(vios) > 0 {
+		t.Fatalf("clean run already fails: %v", vios)
+	}
+	var victim int
+	for pi, log := range r.Deliveries {
+		if len(log) >= 4 {
+			victim = pi
+			break
+		}
+	}
+	log := r.Deliveries[victim]
+	log[0], log[1] = log[1], log[0]        // local-order
+	log[2] = log[3]                        // at-most-once
+	log[len(log)-1].BarBE = 0              // barrier-gate
+	log[len(log)-1].BarC = 0               //
+	log[len(log)-1].ClockAt = 0            // causality
+	want := map[string]bool{"local-order": false, "at-most-once": false, "barrier-gate": false, "causality": false}
+	for _, v := range Check(r) {
+		if _, ok := want[v.Invariant]; ok {
+			want[v.Invariant] = true
+		}
+	}
+	for inv, hit := range want {
+		if !hit {
+			t.Errorf("corrupted log did not trip %s — checker is blind", inv)
+		}
+	}
+}

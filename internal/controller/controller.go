@@ -72,12 +72,21 @@ type Controller struct {
 	reports    []report
 	windowOpen bool
 	busy       bool
+	// declared remembers every process already covered by a FailureRecord:
+	// a failure timestamp is decided exactly once. A later round must not
+	// re-declare the proc with a timestamp derived from unrelated reports.
+	declared map[netsim.ProcID]bool
 
 	// RecoveryTime samples barrier-stall durations (detect -> resume) for
 	// the Fig. 10 experiment.
 	RecoveryTime stats.Sample
 	// ForwardedMsgs counts messages relayed by Controller Forwarding.
 	ForwardedMsgs uint64
+	// OnForward, if set, observes every packet relayed by Controller
+	// Forwarding before it reaches the receiver. Forwarded traffic carries
+	// the §5.2 partition caveat — only locally ordered — so test harnesses
+	// use this to mark the affected scatterings.
+	OnForward func(pkt *netsim.Packet)
 	// OnRecovered fires after each completed failure-handling round.
 	OnRecovered func(rec FailureRecord)
 }
@@ -92,7 +101,7 @@ type report struct {
 // dead-link reports, the hosts' stuck-message escalation, and builds the
 // Raft store on the same engine.
 func New(net *netsim.Network, cl *core.Cluster, cfg Config) *Controller {
-	c := &Controller{Cfg: cfg, net: net, cl: cl}
+	c := &Controller{Cfg: cfg, net: net, cl: cl, declared: make(map[netsim.ProcID]bool)}
 	c.Raft = buildRaft(net, c, cfg)
 	net.OnLinkDead = func(l topology.Link, lastCommit sim.Time) {
 		// Switch -> controller report over the management network.
@@ -174,6 +183,9 @@ func (c *Controller) determine() {
 		if c.hostConnected(host) {
 			continue
 		}
+		if c.hostDeclared(hi) {
+			continue // already handled by an earlier round
+		}
 		// Failure timestamp: the latest commit any neighbor saw from this
 		// host — or, when the host died with its ToR, the ToR's reported
 		// aggregate.
@@ -187,6 +199,21 @@ func (c *Controller) determine() {
 				}
 			}
 		}
+		// A half-connected host (dead receive path, live uplink) kept
+		// announcing commits after the reported register froze, and correct
+		// receivers kept delivering above it. Disable its surviving ports
+		// (§5.2: the controller blocks the failed process at the switch)
+		// and take fts from the uplink register at the instant of the
+		// block: commit gating guarantees nothing above it was — or can
+		// be — delivered before Discard installs.
+		for _, lid := range g.Out[host] {
+			if _, uc := c.net.LinkRegisters(lid); uc > fts {
+				fts = uc
+			}
+			if !g.LinkDead(lid) {
+				g.KillLink(lid)
+			}
+		}
 		for p := 0; p < c.net.NumProcs(); p++ {
 			if c.net.HostOfProc(netsim.ProcID(p)) == hi {
 				failed[netsim.ProcID(p)] = fts
@@ -195,19 +222,55 @@ func (c *Controller) determine() {
 	}
 
 	rec := FailureRecord{Procs: failed, DetectedAt: detectedAt}
+	for p := range failed {
+		c.declared[p] = true
+	}
+	// Snapshot the commit-gated link set NOW: the Resume step at the end of
+	// this round must unblock only the links this round's failure gated. A
+	// component that dies while this round is in flight gates its own links,
+	// and those must stay gated (holding the commit barrier below the new
+	// failure timestamp) until the round that handles it finishes its
+	// Discard/Recall — resuming them early lets some receivers deliver
+	// messages other receivers are about to discard (§5.2).
+	gated := c.net.CommitGatedLinks()
 	c.busy = true
-	c.replicate(rec, func() { c.broadcast(rec) })
+	c.replicate(rec, func() { c.broadcast(rec, gated) })
+}
+
+// hostDeclared reports whether every process of a host is already covered
+// by a previous FailureRecord.
+func (c *Controller) hostDeclared(hi int) bool {
+	for p := 0; p < c.net.NumProcs(); p++ {
+		if c.net.HostOfProc(netsim.ProcID(p)) == hi && !c.declared[netsim.ProcID(p)] {
+			return false
+		}
+	}
+	return true
 }
 
 // hostConnected reports whether a host still has a live path into the
-// fabric (single-homed hosts fail with their uplink or ToR).
+// fabric in BOTH directions (single-homed hosts fail with their uplink,
+// their downlink, or their ToR). A host that can send but not receive is
+// disconnected in the §5.2 sense: its commit barrier can never advance, so
+// it will never deliver again and its peers' scatterings toward it must be
+// recalled.
 func (c *Controller) hostConnected(host topology.NodeID) bool {
 	g := c.net.G
 	if g.NodeDead(host) {
 		return false
 	}
+	up := false
 	for _, lid := range g.Out[host] {
 		if !g.LinkDead(lid) && !g.NodeDead(g.Link(lid).To) {
+			up = true
+			break
+		}
+	}
+	if !up {
+		return false
+	}
+	for _, lid := range g.In[host] {
+		if !g.LinkDead(lid) && !g.NodeDead(g.Link(lid).From) {
 			return true
 		}
 	}
@@ -248,20 +311,33 @@ func (c *Controller) replicate(rec FailureRecord, then func()) {
 	poll()
 }
 
+// completionSweep is how often the controller re-checks the hosts it is
+// still waiting on during a broadcast round. A host that crashes after
+// being handed ApplyFailure can never report completion; without the sweep
+// one cascading failure would wedge the round forever — busy never clears,
+// later failures are never determined, and the commit plane stays stalled
+// cluster-wide.
+const completionSweep = 100 * sim.Microsecond
+
 // broadcast sends the failure record to every correct host and collects
 // completions (Broadcast / Discard / Recall / Callback steps), then
 // resumes the commit plane.
-func (c *Controller) broadcast(rec FailureRecord) {
+func (c *Controller) broadcast(rec FailureRecord, gated []topology.LinkID) {
 	eng := c.net.Eng
 	failedHosts := make(map[int]bool)
 	for p := range rec.Procs {
 		failedHosts[c.net.HostOfProc(p)] = true
 	}
 	waiting := 0
+	pending := make(map[int]bool)
 	var resume func()
-	done := func() {
+	done := func(hi int) {
 		// Host -> controller completion, one management hop back.
 		eng.After(c.Cfg.MgmtDelay, func() {
+			if !pending[hi] {
+				return // already written off by the sweep
+			}
+			delete(pending, hi)
 			waiting--
 			if waiting == 0 {
 				resume()
@@ -269,9 +345,19 @@ func (c *Controller) broadcast(rec FailureRecord) {
 		})
 	}
 	resume = func() {
-		// Resume step: unblock commit-plane aggregation everywhere.
-		for _, lid := range c.net.CommitGatedLinks() {
+		// Resume step: unblock the links this round's failure gated (and
+		// only those — see the snapshot in determine).
+		for _, lid := range gated {
 			c.net.ResumeCommitPlane(lid)
+		}
+		// A failed host's surviving links leave barrier aggregation for
+		// good. A host declared failed because its receive path died can
+		// still transmit, and its commit floor — parked, since ACKs can
+		// never reach it — would otherwise cap the cluster barrier (§5.2).
+		for hi := range failedHosts {
+			for _, lid := range c.net.G.Out[c.net.G.Host(hi)] {
+				c.net.ExcludeCommitPlane(lid)
+			}
 		}
 		c.RecoveryTime.Add(float64(eng.Now()-rec.DetectedAt) / float64(sim.Microsecond))
 		c.busy = false
@@ -283,8 +369,7 @@ func (c *Controller) broadcast(rec FailureRecord) {
 		// Pure fabric failure (core link/switch): no process failed; no
 		// host involvement needed (§7.2: "only the controller needs to
 		// be involved").
-		waiting = 1
-		eng.After(c.Cfg.MgmtDelay, func() { done() })
+		eng.After(2*c.Cfg.MgmtDelay, resume)
 		return
 	}
 	i := 0
@@ -293,15 +378,37 @@ func (c *Controller) broadcast(rec FailureRecord) {
 			continue
 		}
 		waiting++
-		h := h
+		pending[hi] = true
+		hi, h := hi, h
 		// The controller serializes its broadcast: each additional host
 		// costs PerHostCost of controller CPU/NIC time.
-		eng.After(c.Cfg.MgmtDelay+sim.Time(i)*c.Cfg.PerHostCost, func() { h.ApplyFailure(rec.Procs, done) })
+		eng.After(c.Cfg.MgmtDelay+sim.Time(i)*c.Cfg.PerHostCost, func() { h.ApplyFailure(rec.Procs, func() { done(hi) }) })
 		i++
 	}
 	if waiting == 0 {
 		resume()
+		return
 	}
+	// Write off hosts that die mid-round: their own failure is a new
+	// report round, but this round must not block on their completion.
+	var sweep func()
+	sweep = func() {
+		if waiting == 0 {
+			return
+		}
+		for hi := range pending {
+			if !c.hostConnected(c.net.G.Host(hi)) {
+				delete(pending, hi)
+				waiting--
+			}
+		}
+		if waiting == 0 {
+			resume()
+			return
+		}
+		eng.After(completionSweep, sweep)
+	}
+	eng.After(completionSweep, sweep)
 }
 
 // onStuck handles a sender that exhausted retransmissions toward dst
@@ -343,6 +450,9 @@ func (c *Controller) forward(h *core.Host, src, dst netsim.ProcID) {
 	for _, pkt := range pkts {
 		pkt := pkt
 		c.ForwardedMsgs++
+		if c.OnForward != nil {
+			c.OnForward(pkt)
+		}
 		eng.After(c.Cfg.MgmtDelay, func() {
 			dstHost.HandlePacket(pkt)
 			// Acknowledge on the receiver's behalf: the receiver's own

@@ -28,7 +28,7 @@ func NewSharded(net *netsim.Network, cl *core.Cluster, cfg Config) *Sharded {
 	s := &Sharded{net: net}
 	pods := net.Cfg.Topo.Pods
 	for p := 0; p < pods; p++ {
-		c := &Controller{Cfg: cfg, net: net, cl: cl}
+		c := &Controller{Cfg: cfg, net: net, cl: cl, declared: make(map[netsim.ProcID]bool)}
 		c.Raft = buildRaft(net, c, cfg)
 		s.Shards = append(s.Shards, c)
 	}

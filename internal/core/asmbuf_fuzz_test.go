@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// FuzzAsmBufReorder drives the receive-side reassembly/reorder buffer with
+// an arbitrary interleaving of fragment arrivals, duplicates and ordering
+// skips, checking the properties HandlePacket relies on:
+//
+//   - a message completes at most once, and only with its true last
+//     fragment and exact payload size (at-most-once, §4.1 dedup);
+//   - a message none of whose positions were skipped, all of whose
+//     fragments arrived, always completes (no lost-wakeup in the hole
+//     bookkeeping);
+//   - once any position of a message is skipped before completion, the
+//     message can never complete (skip is how NAK'd/recalled slots are
+//     consumed — resurrecting one would deliver recalled data);
+//   - doneBase only moves forward, and consumed positions stay duplicates.
+func FuzzAsmBufReorder(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, true)
+	f.Add([]byte{0x40, 0x01, 0xc3, 0x87, 0x22, 0xff, 0x00, 0x91}, false)
+	f.Fuzz(func(t *testing.T, script []byte, reliable bool) {
+		if len(script) == 0 {
+			return
+		}
+		// Fragment universe: 10 messages with 1..3 fragments each, fragment
+		// counts drawn from the script so the fuzzer controls message shape.
+		const msgCount = 10
+		type frag struct {
+			pkt *netsim.Packet
+			msg int
+		}
+		var frags []frag
+		fragsOf := make([][]uint32, msgCount)
+		psn := uint32(0)
+		for m := 0; m < msgCount; m++ {
+			n := 1 + int(script[m%len(script)])%3
+			for j := 0; j < n; j++ {
+				frags = append(frags, frag{
+					msg: m,
+					pkt: &netsim.Packet{
+						PSN: psn, FragIdx: uint16(j), EndOfMsg: j == n-1,
+						MsgTS: sim.Time(m + 1),
+						Size:  netsim.HeaderBytes + 100 + m,
+					},
+				})
+				fragsOf[m] = append(fragsOf[m], psn)
+				psn++
+			}
+		}
+
+		a := newAsmBuf(!reliable)
+		completed := make([]bool, msgCount)
+		skipped := make([]bool, msgCount)
+		accepted := make([]int, msgCount)
+		prevBase := a.doneBase
+		for _, b := range script {
+			fr := frags[int(b&0x3f)%len(frags)]
+			if b>>6 == 3 {
+				// Ordering skip: consume the slot without delivering.
+				if !completed[fr.msg] {
+					skipped[fr.msg] = true
+				}
+				a.skip(fr.pkt)
+			} else if !a.isDup(fr.pkt.PSN) {
+				accepted[fr.msg]++
+				last, size, complete := a.add(fr.pkt)
+				if complete {
+					if completed[fr.msg] {
+						t.Fatalf("message %d completed twice", fr.msg)
+					}
+					if skipped[fr.msg] {
+						t.Fatalf("message %d completed after one of its slots was skipped", fr.msg)
+					}
+					completed[fr.msg] = true
+					if !last.EndOfMsg || last.PSN != fragsOf[fr.msg][len(fragsOf[fr.msg])-1] {
+						t.Fatalf("message %d completed by wrong fragment psn=%d", fr.msg, last.PSN)
+					}
+					wantSize := len(fragsOf[fr.msg]) * (100 + fr.msg)
+					if size != wantSize {
+						t.Fatalf("message %d size %d, want %d", fr.msg, size, wantSize)
+					}
+					for _, p := range fragsOf[fr.msg] {
+						if !a.isDup(p) {
+							t.Fatalf("message %d completed but psn %d not marked consumed", fr.msg, p)
+						}
+					}
+				}
+			}
+			if a.doneBase < prevBase {
+				t.Fatalf("doneBase moved backward: %d -> %d", prevBase, a.doneBase)
+			}
+			prevBase = a.doneBase
+		}
+		for m := 0; m < msgCount; m++ {
+			if !skipped[m] && accepted[m] == len(fragsOf[m]) && !completed[m] {
+				t.Fatalf("message %d fully received (%d fragments, never skipped) yet never completed",
+					m, accepted[m])
+			}
+		}
+	})
+}

@@ -23,9 +23,17 @@ func (h *Host) ApplyFailure(failed map[netsim.ProcID]sim.Time, done func()) {
 	// processes with timestamps beyond their failure timestamp.
 	h.discardFrom(failed)
 
-	// Recall: abort in-flight scatterings with a failed destination.
-	h.failDone = done
-	h.failWait = 0
+	// Recall: abort in-flight scatterings with a failed destination. A
+	// previous round's recalls may still be pending (sharded controllers
+	// broadcast concurrently, §6.1): completions compose rather than
+	// clobber, and failWait keeps counting the union — overwriting it
+	// would drop the earlier round's completion and wedge that shard's
+	// broadcast forever.
+	if prev := h.failDone; prev != nil {
+		h.failDone = func() { prev(); done() }
+	} else {
+		h.failDone = done
+	}
 	h.recallAffected(failed)
 
 	// Callback: notify every local process of each failure.

@@ -114,13 +114,20 @@ func (a *asmBuf) add(pkt *netsim.Packet) (last *netsim.Packet, size int, complet
 }
 
 // skip consumes a fragment position (and any buffered siblings of the same
-// message) without delivering — used for ordering NAKs and recalls.
+// message) without delivering — used for ordering NAKs and recalls. The
+// sweep must not stop at a reception hole below the skipped slot: a sibling
+// buffered at or beyond the slot would otherwise survive its own
+// consumption, linger unbounded, and let a late arrival in the hole
+// "complete" a message whose slot was already skipped.
 func (a *asmBuf) skip(pkt *netsim.Packet) {
 	start := pkt.PSN - uint32(pkt.FragIdx)
 	a.markDone(pkt.PSN)
 	for j := start; ; j++ {
 		f, ok := a.frags[j]
 		if !ok {
+			if j < pkt.PSN {
+				continue // hole below the skipped slot: keep sweeping
+			}
 			break
 		}
 		delete(a.frags, j)

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// propRec is one delivery with its plane, for the cross-class order checks.
+type propRec struct {
+	ts       sim.Time
+	src      netsim.ProcID
+	id       int64
+	reliable bool
+}
+
+// runMixedWorkload deploys a small cluster in the given delivery mode, runs a
+// seed-derived mix of best-effort and reliable scatterings, and returns the
+// per-process delivery logs. Message IDs are globally unique so logs can be
+// correlated across receivers.
+func runMixedWorkload(t *testing.T, mode DeliveryMode, seed int64) [][]propRec {
+	t.Helper()
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 1}, 2)
+	cfg.Seed = seed
+	cfg.Jitter = 500 * sim.Nanosecond
+	ccfg := DefaultConfig()
+	ccfg.Mode = mode
+	cl := Deploy(netsim.New(cfg), ccfg)
+	np := len(cl.Procs)
+	logs := make([][]propRec, np)
+	for i, p := range cl.Procs {
+		i := i
+		p.OnDeliver = func(d Delivery) {
+			logs[i] = append(logs[i], propRec{ts: d.TS, src: d.Src, id: d.Data.(int64), reliable: d.Reliable})
+		}
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	eng := cl.Net.Eng
+	var nextID int64
+	var loop func(pi int)
+	loop = func(pi int) {
+		if eng.Now() > 400*sim.Microsecond {
+			return
+		}
+		var msgs []Message
+		fan := 1 + rng.Intn(3)
+		seen := map[netsim.ProcID]bool{netsim.ProcID(pi): true}
+		id := nextID
+		nextID++
+		for len(msgs) < fan {
+			dst := netsim.ProcID(rng.Intn(np))
+			if seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			msgs = append(msgs, Message{Dst: dst, Data: id, Size: 64})
+		}
+		if rng.Intn(2) == 0 {
+			_ = cl.Proc(pi).SendReliable(msgs)
+		} else {
+			_ = cl.Proc(pi).Send(msgs)
+		}
+		eng.After(sim.Time(1+rng.Intn(4))*sim.Microsecond, func() { loop(pi) })
+	}
+	for pi := 0; pi < np; pi++ {
+		pi := pi
+		eng.After(sim.Time(rng.Intn(3000))*sim.Nanosecond, func() { loop(pi) })
+	}
+	cl.Run(900 * sim.Microsecond)
+	return logs
+}
+
+func sortedByKey(l []propRec) (int, bool) {
+	for j := 1; j < len(l); j++ {
+		a, b := l[j-1], l[j]
+		if b.ts < a.ts || (b.ts == a.ts && b.src < a.src) {
+			return j, false
+		}
+	}
+	return 0, true
+}
+
+// TestUnifiedCrossClassTotalOrder is the property test for DeliverUnified:
+// across many seeds, every receiver's merged delivery log — best-effort and
+// reliable interleaved — is strictly sorted by (ts, src), and any two
+// receivers agree on the relative order of their common scatterings. This is
+// the cross-class single total order of DESIGN deviation #4; DeliverSeparate
+// promises it per plane only (see TestSeparatePerPlaneOrderOnly).
+func TestUnifiedCrossClassTotalOrder(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := int64(1); seed <= seeds; seed++ {
+		logs := runMixedWorkload(t, DeliverUnified, seed)
+		total, crossClassPairs := 0, 0
+		for pi, l := range logs {
+			total += len(l)
+			if j, ok := sortedByKey(l); !ok {
+				t.Fatalf("seed %d proc %d: merged log out of order at %d: %v then %v",
+					seed, pi, j, l[j-1], l[j])
+			}
+			for j := 1; j < len(l); j++ {
+				if l[j-1].reliable != l[j].reliable {
+					crossClassPairs++
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("seed %d: no deliveries — workload wired wrong", seed)
+		}
+		if crossClassPairs == 0 {
+			t.Fatalf("seed %d: no cross-class adjacency anywhere — test exercises nothing", seed)
+		}
+		// Pairwise agreement on common scatterings, across the merged logs.
+		for a := 0; a < len(logs); a++ {
+			idx := make(map[int64]int, len(logs[a]))
+			for i, d := range logs[a] {
+				idx[d.id] = i
+			}
+			for b := a + 1; b < len(logs); b++ {
+				last := -1
+				for _, d := range logs[b] {
+					i, common := idx[d.id]
+					if !common {
+						continue
+					}
+					if i < last {
+						t.Fatalf("seed %d: receivers %d and %d disagree on common scattering order", seed, a, b)
+					}
+					last = i
+				}
+			}
+		}
+	}
+}
+
+// TestSeparatePerPlaneOrderOnly pins DeliverSeparate's weaker contract: each
+// plane's subsequence is totally ordered, while the merged cross-class log
+// need not be (the planes advance on independent barriers). The test asserts
+// the per-plane property on every seed and requires that at least one seed
+// exhibits a cross-class inversion — otherwise the distinction between the
+// modes has silently disappeared and DeliverUnified is no longer buying
+// anything.
+func TestSeparatePerPlaneOrderOnly(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	mergedInversions := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		logs := runMixedWorkload(t, DeliverSeparate, seed)
+		for pi, l := range logs {
+			var be, rel []propRec
+			for _, d := range l {
+				if d.reliable {
+					rel = append(rel, d)
+				} else {
+					be = append(be, d)
+				}
+			}
+			if j, ok := sortedByKey(be); !ok {
+				t.Fatalf("seed %d proc %d: best-effort plane out of order at %d", seed, pi, j)
+			}
+			if j, ok := sortedByKey(rel); !ok {
+				t.Fatalf("seed %d proc %d: reliable plane out of order at %d", seed, pi, j)
+			}
+			if _, ok := sortedByKey(l); !ok {
+				mergedInversions++
+			}
+		}
+	}
+	if mergedInversions == 0 {
+		t.Fatalf("no cross-class inversion in %d DeliverSeparate seeds — the mode distinction tests nothing", seeds)
+	}
+}

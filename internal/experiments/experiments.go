@@ -120,6 +120,7 @@ func Registry() []Runner {
 		{"abl-beacon", "Ablation: beacon interval latency/overhead trade-off", AblBeacon},
 		{"proj", "Projected loss penalty at 32K hosts (§7.2 analysis)", Projection},
 		{"stages", "Per-stage latency decomposition (Fig. 9/10 breakdown)", Stages},
+		{"chaos", "Randomized fault sweep with invariant checking (harness)", ChaosSweep},
 	}
 }
 

@@ -14,6 +14,7 @@ package livenet
 
 import (
 	"fmt"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -32,6 +33,12 @@ type Config struct {
 	LinkDelay time.Duration
 	// BeaconInterval is T_beacon in wall-clock time.
 	BeaconInterval time.Duration
+	// LossRate drops forwarded data-plane packets at the switch (the
+	// in-process links never lose on their own, so the retransmission
+	// machinery is exercised by injection, as in udpnet).
+	LossRate float64
+	// Seed seeds the loss RNG; zero draws from the wall clock.
+	Seed int64
 	// Endpoint overrides the lib1pipe configuration.
 	Endpoint *core.Config
 	// Trace installs a lifecycle tracer (internal/obs) on every host.
@@ -66,6 +73,7 @@ type Net struct {
 	// Switch state: per-host-uplink barrier registers.
 	regBE, regC []sim.Time
 	outBE, outC sim.Time
+	rng         *rand.Rand // loss injection; touched only on the loop
 
 	traces []*obs.Trace
 	debug  *http.Server
@@ -102,6 +110,10 @@ func New(cfg Config) *Net {
 	if cfg.ProcsPerHost <= 0 {
 		cfg.ProcsPerHost = 1
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	n := &Net{
 		cfg:   cfg,
 		loop:  make(chan func(), 4096),
@@ -109,6 +121,7 @@ func New(cfg Config) *Net {
 		start: time.Now(),
 		regBE: make([]sim.Time, cfg.Hosts),
 		regC:  make([]sim.Time, cfg.Hosts),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 	n.wg.Add(1)
 	go n.run()
@@ -207,6 +220,9 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 	switch pkt.Kind {
 	case netsim.KindBeacon, netsim.KindCommit:
 		return // consumed: registers updated
+	}
+	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		return // injected loss: barrier registers updated, packet gone
 	}
 	be, c := n.aggregate()
 	pkt.BarrierBE, pkt.BarrierC = be, c

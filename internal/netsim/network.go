@@ -65,6 +65,13 @@ type linkState struct {
 	// commit barriers advance past the failure timestamp (§5.2).
 	alive  bool
 	aliveC bool
+	// excludedC marks a link the controller has removed from commit
+	// aggregation for good: packet arrivals must not resurrect it. Needed
+	// for a failed-but-running host (e.g. dead downlink only) that keeps
+	// transmitting — its parked commit floor would otherwise cap the
+	// cluster-wide barrier forever (§5.2: a failed process's links leave
+	// the aggregation tree).
+	excludedC bool
 }
 
 type nodeState struct {
@@ -285,7 +292,9 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	now := n.Eng.Now()
 	l.lastRx = now
 	l.alive = true
-	l.aliveC = true
+	if !l.excludedC {
+		l.aliveC = true
+	}
 	// Update the per-input-link barrier registers (§4.1). With a
 	// programmable chip every packet carries per-link-valid barriers
 	// (rewritten each hop). With switch-CPU or host-delegate processing
@@ -359,7 +368,11 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	// packets — is load-bearing: different in-switch latencies would let
 	// a later-stamped packet overtake an earlier one onto the same
 	// egress, breaking barrier monotonicity on the link.
-	n.Eng.After(n.Cfg.SwitchFwdDelay, func() { n.transmit(&n.links[out], pkt) })
+	fwd := n.Cfg.SwitchFwdDelay
+	if n.Cfg.NonuniformPipeline && l.kind == topology.LinkLoopback {
+		fwd = 0 // chaos-harness self-test: the pre-fix nonuniform pipeline
+	}
+	n.Eng.After(fwd, func() { n.transmit(&n.links[out], pkt) })
 }
 
 func (n *Network) hostIndexOf(id topology.NodeID) int {
@@ -526,7 +539,11 @@ func (n *Network) startDeadLinkScanner() {
 		now := n.Eng.Now()
 		for i := range n.links {
 			l := &n.links[i]
-			if !l.alive || n.G.Node(l.to).Kind == topology.KindHost {
+			// Host-terminating links are scanned too: §4.2's detection runs
+			// in lib1pipe's polling thread as much as in switches, and a
+			// host whose downlink went silent must be reported so the
+			// controller can fail it (it will never deliver again).
+			if !l.alive {
 				continue
 			}
 			if now-l.lastRx > timeout {
@@ -603,6 +620,19 @@ func (n *Network) CommitGatedLinks() []topology.LinkID {
 // has finished Discard, Recall and its failure callbacks (§5.2).
 func (n *Network) ResumeCommitPlane(id topology.LinkID) {
 	l := &n.links[id]
+	l.aliveC = false
+	n.scheduleRelays(&n.nodes[l.to])
+}
+
+// ExcludeCommitPlane permanently removes a link from commit-plane
+// aggregation: unlike ResumeCommitPlane, later packet arrivals do not
+// re-admit it. The controller calls this for the remaining live links of a
+// process it has declared failed — a failed host that can still transmit
+// (only its receive path died) would otherwise keep a parked commit floor
+// in the aggregation and cap the cluster-wide barrier (§5.2).
+func (n *Network) ExcludeCommitPlane(id topology.LinkID) {
+	l := &n.links[id]
+	l.excludedC = true
 	l.aliveC = false
 	n.scheduleRelays(&n.nodes[l.to])
 }

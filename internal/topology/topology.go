@@ -282,6 +282,13 @@ func (g *Graph) Revive() {
 	}
 }
 
+// ReviveLink clears the death mark of a single link — a repaired cable or a
+// healed partition cut. The endpoints' own liveness is untouched.
+func (g *Graph) ReviveLink(id LinkID) { g.linkDead[id] = false }
+
+// ReviveNode clears the death mark of a single logical node.
+func (g *Graph) ReviveNode(id NodeID) { g.nodeDead[id] = false }
+
 // NodeDead reports whether a node is marked dead.
 func (g *Graph) NodeDead(id NodeID) bool { return g.nodeDead[id] }
 

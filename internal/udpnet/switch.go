@@ -21,10 +21,11 @@ type Switch struct {
 	conn  *net.UDPConn
 	epoch time.Time
 
-	mu      sync.Mutex
-	addrs   map[int]*net.UDPAddr // host id -> address
-	regBE   map[int]sim.Time
-	regC    map[int]sim.Time
+	mu        sync.Mutex
+	addrs     map[int]*net.UDPAddr // host id -> address
+	blackhole map[int]bool         // host id -> data-plane partitioned
+	regBE     map[int]sim.Time
+	regC      map[int]sim.Time
 	outBE   sim.Time
 	outC    sim.Time
 	rng     *rand.Rand
@@ -46,9 +47,10 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 	}
 	s := &Switch{
 		cfg: cfg, conn: conn, epoch: epoch,
-		addrs:   make(map[int]*net.UDPAddr),
-		regBE:   make(map[int]sim.Time),
-		regC:    make(map[int]sim.Time),
+		addrs:     make(map[int]*net.UDPAddr),
+		blackhole: make(map[int]bool),
+		regBE:     make(map[int]sim.Time),
+		regC:      make(map[int]sim.Time),
 		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 		stopped:   make(chan struct{}),
 		regNotify: make(chan struct{}, 1),
@@ -61,6 +63,19 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 
 // Addr returns the switch's UDP address.
 func (s *Switch) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetBlackhole installs or clears a grey failure on one host: the switch
+// keeps consuming its beacons (control plane intact, so the global barrier
+// keeps advancing) but drops every data-plane packet to or from it. This is
+// the partition shape the UDP fabric can survive without a controller —
+// a full cut would freeze the barrier aggregation at the parked register,
+// which is exactly the §5.2 failure-handling territory the simulator's
+// chaos harness covers.
+func (s *Switch) SetBlackhole(host int, blocked bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blackhole[host] = blocked
+}
 
 func (s *Switch) registered() int {
 	s.mu.Lock()
@@ -117,12 +132,16 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 		return // consumed
 	}
 
+	dstHost := int(pkt.Dst) / s.cfg.ProcsPerHost
+	if s.blackhole[srcHost] || s.blackhole[dstHost] {
+		s.Dropped++
+		return
+	}
 	if s.cfg.LossRate > 0 && s.rng.Float64() < s.cfg.LossRate {
 		s.Dropped++
 		return
 	}
 	be, c := s.aggregateLocked()
-	dstHost := int(pkt.Dst) / s.cfg.ProcsPerHost
 	dst := s.addrs[dstHost]
 	if dst == nil {
 		s.Dropped++

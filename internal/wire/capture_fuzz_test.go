@@ -1,0 +1,60 @@
+package wire_test
+
+import (
+	"bytes"
+	"testing"
+
+	"onepipe/internal/chaos"
+	"onepipe/internal/wire"
+)
+
+// FuzzDecodeCaptured is FuzzDecode with a corpus harvested from a chaos run
+// instead of hand-built constants: the seeds are real frames — beacons with
+// live barrier state, recalls and recall ACKs from an abort, commit and NAK
+// traffic under loss — so the fuzzer starts from every header shape the
+// protocol actually produces. (External test package: chaos imports wire,
+// so the seeding has to live outside package wire.)
+func FuzzDecodeCaptured(f *testing.F) {
+	for _, frame := range chaos.CaptureWirePackets(42, 4) {
+		f.Add(frame)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, payload, err := wire.Decode(data, 1<<40)
+		if err != nil {
+			return
+		}
+		re := wire.Encode(pkt, payload)
+		pkt2, payload2, err2 := wire.Decode(re, 1<<40)
+		if err2 != nil {
+			t.Fatalf("re-decode failed: %v", err2)
+		}
+		if !bytes.Equal(payload, payload2) {
+			t.Fatal("payload changed across round trip")
+		}
+		if pkt.Kind != pkt2.Kind || pkt.Src != pkt2.Src || pkt.Dst != pkt2.Dst ||
+			pkt.PSN != pkt2.PSN || pkt.FragIdx != pkt2.FragIdx ||
+			pkt.Reliable != pkt2.Reliable || pkt.EndOfMsg != pkt2.EndOfMsg ||
+			wire.WrapTS(pkt.MsgTS) != wire.WrapTS(pkt2.MsgTS) {
+			t.Fatal("header changed across round trip")
+		}
+	})
+}
+
+// TestCapturedCorpusCoversKinds asserts the harvest actually contains frames
+// of several distinct kinds — a capture that only ever saw data packets
+// would silently gut FuzzDecodeCaptured's seed diversity.
+func TestCapturedCorpusCoversKinds(t *testing.T) {
+	frames := chaos.CaptureWirePackets(42, 4)
+	if len(frames) < 8 {
+		t.Fatalf("capture produced only %d frames", len(frames))
+	}
+	kinds := map[byte]bool{}
+	for _, fr := range frames {
+		if len(fr) >= wire.HeaderLen {
+			kinds[fr[24]] = true // opcode byte of the wire header
+		}
+	}
+	if len(kinds) < 4 {
+		t.Fatalf("capture covers only %d packet kinds, want >=4 (data/ack/beacon/commit/recall...)", len(kinds))
+	}
+}

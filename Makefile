@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench results full-results fuzz examples vet chaos chaos-nightly
+.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly
 
 all: vet test
 
@@ -21,6 +21,17 @@ race:
 # One pass over every figure/table as Go benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' .
+
+# Refresh the committed performance-tracking report (engine scheduling,
+# wire codec, simulated send path, e2e message rate). Add
+# BENCH_ARGS=-bench-suite to also re-time the quick figure suite.
+bench-json:
+	$(GO) run ./cmd/onepipe-bench -bench-json -bench-out BENCH_core.json $(BENCH_ARGS)
+
+# CI's perf smoke: re-measure engine events/sec and fail on a >10%
+# regression against the committed BENCH_core.json.
+bench-gate:
+	$(GO) run ./cmd/onepipe-bench -bench-gate BENCH_core.json
 
 # Regenerate every figure/table at quick scale into results_quick.txt.
 results:

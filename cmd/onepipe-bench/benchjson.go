@@ -1,0 +1,270 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	onepipe "onepipe"
+	"onepipe/internal/experiments"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+	"onepipe/internal/wire"
+)
+
+// benchResult is one micro-benchmark's figures in BENCH_core.json.
+type benchResult struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchBaseline records the pre-optimization numbers the current figures
+// are compared against in docs/performance.md. It is frozen by hand when a
+// new baseline is deliberately established, never by `-bench-json` runs.
+type benchBaseline struct {
+	Note               string  `json:"note"`
+	EngineNsPerOp      float64 `json:"engine_ns_per_op"`
+	EngineAllocsPerOp  int64   `json:"engine_allocs_per_op"`
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	WireEncodeNsPerOp  float64 `json:"wire_encode_ns_per_op"`
+	WireDecodeNsPerOp  float64 `json:"wire_decode_ns_per_op"`
+	QuickSuiteWallS    float64 `json:"quick_suite_wall_s"`
+}
+
+// benchReport is the machine-readable performance contract: refreshed by
+// `make bench-json`, gated by CI's bench-smoke job (engine events/sec must
+// stay within 10% of the committed figure).
+type benchReport struct {
+	Generated          string                 `json:"generated"`
+	GoVersion          string                 `json:"go_version"`
+	GOMAXPROCS         int                    `json:"gomaxprocs"`
+	EngineEventsPerSec float64                `json:"engine_events_per_sec"`
+	E2EMsgsPerSec      float64                `json:"e2e_msgs_per_sec"`
+	QuickSuiteWallS    float64                `json:"quick_suite_wall_s,omitempty"`
+	Benchmarks         map[string]benchResult `json:"benchmarks"`
+	Baseline           *benchBaseline         `json:"baseline,omitempty"`
+}
+
+func toResult(r testing.BenchmarkResult) benchResult {
+	return benchResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// benchEngine is the BenchmarkEngineSchedule shape: a 4096-deep event heap
+// where every executed event re-schedules itself. 1e9/ns_per_op is the
+// engine events/sec figure.
+func benchEngine() testing.BenchmarkResult {
+	return testing.Benchmark(func(b *testing.B) {
+		e := sim.NewEngine(1)
+		const depth = 4096
+		var step func()
+		step = func() {
+			e.After(sim.Time(e.Rand().Intn(1000))+1, step)
+		}
+		for i := 0; i < depth; i++ {
+			e.After(sim.Time(e.Rand().Intn(1000))+1, step)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e.Step()
+		}
+	})
+}
+
+func benchWireEncode() testing.BenchmarkResult {
+	pkt := &netsim.Packet{
+		Kind: netsim.KindData, Src: 3, Dst: 9, MsgTS: 123456789,
+		BarrierBE: 123456000, BarrierC: 123455000, PSN: 77, FragIdx: 1,
+		EndOfMsg: true, Reliable: true, Size: 1024,
+	}
+	payload := make([]byte, 512)
+	buf := make([]byte, 0, wire.HeaderLen+len(payload))
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = wire.AppendEncode(buf[:0], pkt, payload)
+		}
+	})
+}
+
+func benchWireDecode() testing.BenchmarkResult {
+	pkt := &netsim.Packet{
+		Kind: netsim.KindData, Src: 3, Dst: 9, MsgTS: 123456789,
+		PSN: 77, EndOfMsg: true, Reliable: true, Size: 1024,
+	}
+	buf := wire.Encode(pkt, make([]byte, 512))
+	var dst netsim.Packet
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.DecodeInto(&dst, buf, 123456789); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// benchSendPath is the BenchmarkSendPath shape: one best-effort packet over
+// a quiescent 16-host Clos, all simulated hops included.
+func benchSendPath() testing.BenchmarkResult {
+	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 2}, 1)
+	cfg.Clock.MaxOffset = 0
+	cfg.Clock.MaxDriftPPM = 0
+	cfg.DisableBeacons = true
+	n := netsim.New(cfg)
+	n.AttachHost(7, netsim.PutPacket)
+	send := func() {
+		pkt := netsim.GetPacket()
+		pkt.Kind, pkt.Src, pkt.Dst = netsim.KindData, 0, 7
+		pkt.Size = 1024 + netsim.HeaderBytes
+		pkt.MsgTS = n.Eng.Now()
+		n.SendFromHost(0, pkt)
+		n.Eng.Run()
+	}
+	send()
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			send()
+		}
+	})
+}
+
+// benchE2E measures end-to-end ordered deliveries per wall-clock second on
+// the public API: 32 processes each scattering 50 best-effort messages on
+// the paper's testbed topology.
+func benchE2E() float64 {
+	const procs, msgsEach = 32, 50
+	delivered := 0
+	start := time.Now()
+	runs := 0
+	for time.Since(start) < 2*time.Second {
+		cl := onepipe.NewCluster(onepipe.Config{
+			Topology:     onepipe.Testbed(),
+			ProcsPerHost: 1,
+			Seed:         int64(runs + 1),
+		})
+		for p := 0; p < procs; p++ {
+			cl.Process(p).OnDeliver(func(onepipe.Delivery) { delivered++ })
+		}
+		for p := 0; p < procs; p++ {
+			for k := 0; k < msgsEach; k++ {
+				dst := onepipe.ProcID((p + k + 1) % procs)
+				cl.Process(p).UnreliableSend([]onepipe.Message{{Dst: dst, Size: 64}})
+			}
+		}
+		cl.Run(500 * onepipe.Microsecond)
+		runs++
+	}
+	return float64(delivered) / time.Since(start).Seconds()
+}
+
+// runBenchJSON runs the core benchmark set and writes outPath. When
+// withSuite is set it also regenerates the full quick-scale figure suite to
+// measure end-to-end wall time; otherwise a previous measurement in outPath
+// is carried forward so CI's fast refresh does not erase it.
+func runBenchJSON(outPath string, withSuite bool) error {
+	var prev benchReport
+	if raw, err := os.ReadFile(outPath); err == nil {
+		_ = json.Unmarshal(raw, &prev)
+	}
+
+	eng := benchEngine()
+	enc := benchWireEncode()
+	dec := benchWireDecode()
+	sp := benchSendPath()
+
+	rep := benchReport{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: map[string]benchResult{
+			"engine_schedule":    toResult(eng),
+			"wire_append_encode": toResult(enc),
+			"wire_decode_into":   toResult(dec),
+			"send_path":          toResult(sp),
+		},
+		Baseline: prev.Baseline,
+	}
+	rep.EngineEventsPerSec = 1e9 / rep.Benchmarks["engine_schedule"].NsPerOp
+	rep.E2EMsgsPerSec = benchE2E()
+
+	if withSuite {
+		start := time.Now()
+		sc := experiments.Quick()
+		for _, r := range experiments.Registry() {
+			if tbl := r.Run(sc); len(tbl.Rows) == 0 {
+				return fmt.Errorf("experiment %s produced no rows", r.ID)
+			}
+		}
+		rep.QuickSuiteWallS = time.Since(start).Seconds()
+	} else {
+		rep.QuickSuiteWallS = prev.QuickSuiteWallS
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("engine      %8.1f ns/op  %d allocs/op  (%.2fM events/s)\n",
+		rep.Benchmarks["engine_schedule"].NsPerOp, rep.Benchmarks["engine_schedule"].AllocsPerOp,
+		rep.EngineEventsPerSec/1e6)
+	fmt.Printf("encode      %8.1f ns/op  %d allocs/op\n",
+		rep.Benchmarks["wire_append_encode"].NsPerOp, rep.Benchmarks["wire_append_encode"].AllocsPerOp)
+	fmt.Printf("decode      %8.1f ns/op  %d allocs/op\n",
+		rep.Benchmarks["wire_decode_into"].NsPerOp, rep.Benchmarks["wire_decode_into"].AllocsPerOp)
+	fmt.Printf("send path   %8.1f ns/op  %d allocs/op\n",
+		rep.Benchmarks["send_path"].NsPerOp, rep.Benchmarks["send_path"].AllocsPerOp)
+	fmt.Printf("e2e         %8.0f msgs/s\n", rep.E2EMsgsPerSec)
+	if rep.QuickSuiteWallS > 0 {
+		fmt.Printf("quick suite %8.1f s wall\n", rep.QuickSuiteWallS)
+	}
+	fmt.Printf("wrote %s\n", outPath)
+	return nil
+}
+
+// runBenchGate re-measures engine scheduling and fails if events/sec
+// regressed more than 10% against the committed BENCH_core.json — the CI
+// bench-smoke contract. The engine figure is the gate because every
+// simulated packet hop pays it and it is the least noisy of the set.
+func runBenchGate(committedPath string) error {
+	raw, err := os.ReadFile(committedPath)
+	if err != nil {
+		return fmt.Errorf("bench gate: %w", err)
+	}
+	var committed benchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("bench gate: parse %s: %w", committedPath, err)
+	}
+	if committed.EngineEventsPerSec <= 0 {
+		return fmt.Errorf("bench gate: %s has no engine_events_per_sec", committedPath)
+	}
+	// Best of 3 to damp shared-runner noise.
+	var best float64
+	for i := 0; i < 3; i++ {
+		r := benchEngine()
+		if ev := 1e9 / (float64(r.T.Nanoseconds()) / float64(r.N)); ev > best {
+			best = ev
+		}
+	}
+	ratio := best / committed.EngineEventsPerSec
+	fmt.Printf("bench gate: engine %.2fM events/s vs committed %.2fM (ratio %.2f)\n",
+		best/1e6, committed.EngineEventsPerSec/1e6, ratio)
+	if ratio < 0.90 {
+		return fmt.Errorf("bench gate: engine events/sec regressed %.0f%% (> 10%% budget)",
+			(1-ratio)*100)
+	}
+	return nil
+}

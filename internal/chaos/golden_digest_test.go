@@ -1,0 +1,30 @@
+package chaos
+
+import "testing"
+
+// TestGoldenSeedDigests pins the delivery-log digest of two chaos seeds.
+// The digest hashes every delivery (timestamp, sender, message id, barrier
+// annotations) in order, so it is sensitive to any change in event ordering
+// anywhere in the stack: the event-queue implementation, packet pooling,
+// retransmission order, barrier propagation. A legitimate protocol change
+// may move these values — update them only after confirming the diff is an
+// intended behavioral change, not a lost tie-break (see docs/performance.md).
+func TestGoldenSeedDigests(t *testing.T) {
+	golden := []struct {
+		seed       int64
+		digest     string
+		deliveries int
+	}{
+		{42, "cdcbe7c10bb58a9069bcb920a912ee35ce64d3f1131efedd9294462d8a3167e4", 11802},
+		{20260805, "3da61f0a1878f7f996eb8598c88fe20deef324a570dd1a14a909ce075793a60f", 24993},
+	}
+	for _, g := range golden {
+		r := Run(NewPlan(g.seed))
+		if got := r.Digest(); got != g.digest {
+			t.Errorf("seed %d: digest %s, want %s", g.seed, got, g.digest)
+		}
+		if got := r.TotalDeliveries(); got != g.deliveries {
+			t.Errorf("seed %d: %d deliveries, want %d", g.seed, got, g.deliveries)
+		}
+	}
+}

@@ -454,14 +454,15 @@ func (c *Controller) forward(h *core.Host, src, dst netsim.ProcID) {
 			c.OnForward(pkt)
 		}
 		eng.After(c.Cfg.MgmtDelay, func() {
-			dstHost.HandlePacket(pkt)
 			// Acknowledge on the receiver's behalf: the receiver's own
-			// ACK would die on the partitioned path.
+			// ACK would die on the partitioned path. Built before the
+			// handoff — HandlePacket consumes pkt.
 			ack := &netsim.Packet{
 				Kind: netsim.KindAck, Src: pkt.Dst, Dst: pkt.Src,
 				PSN: pkt.PSN, MsgTS: pkt.MsgTS, Reliable: pkt.Reliable,
 				Size: netsim.BeaconBytes,
 			}
+			dstHost.HandlePacket(pkt)
 			eng.After(c.Cfg.MgmtDelay, func() { h.HandlePacket(ack) })
 		})
 	}

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"onepipe/internal/netsim"
 	"onepipe/internal/obs"
 	"onepipe/internal/sim"
@@ -50,6 +48,13 @@ type conn struct {
 	// sendQ holds launched-but-untransmitted fragments: a scattering
 	// larger than the window streams out as ACKs free space.
 	sendQ []*outPkt
+	// relOrder tracks reliable PSNs in transmission (= ascending PSN)
+	// order, so the RTO retransmits in PSN order without sorting the
+	// unacked map on every firing. Entries acked, dropped or parked out of
+	// unacked[1] go stale in place and are compacted out lazily; relStale
+	// counts them so compaction cost stays amortized O(1) per removal.
+	relOrder []uint32
+	relStale int
 	// inflight + reserved are charged against min(cwnd, rwnd).
 	inflight int
 	reserved int
@@ -116,6 +121,9 @@ func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
 		return // duplicate ACK
 	}
 	delete(c.unacked[k], psn)
+	if k == 1 {
+		c.relRemoved()
+	}
 	c.inflight--
 	c.dctcpAck(k, psn, ecn)
 	if len(c.unacked[1]) == 0 {
@@ -136,6 +144,9 @@ func (c *conn) pump() {
 		}
 		k := cls(op.scat.reliable)
 		c.unacked[k][op.psn] = op
+		if k == 1 {
+			c.relOrder = append(c.relOrder, op.psn)
+		}
 		c.inflight++
 		if c.host.Obs.On() {
 			c.host.Obs.Rec(obs.SpanXmitWait, c.host.wire.Now()-op.scat.ts)
@@ -182,15 +193,17 @@ func (c *conn) onRTO() {
 	if h.stopped {
 		return
 	}
-	psns := make([]uint32, 0, len(c.unacked[1]))
-	for psn := range c.unacked[1] {
-		psns = append(psns, psn)
-	}
-	sort.Slice(psns, func(i, j int) bool { return psns[i] < psns[j] })
+	// relOrder already lists the unACKed PSNs in ascending order (PSNs are
+	// assigned and transmitted monotonically); the walk compacts stale
+	// entries in place instead of rebuilding and sorting the key set.
+	kept := c.relOrder[:0]
 	rearm := false
 	exhausted := false
-	for _, psn := range psns {
-		op := c.unacked[1][psn]
+	for _, psn := range c.relOrder {
+		op, ok := c.unacked[1][psn]
+		if !ok {
+			continue // stale: acked, dropped or parked since queued
+		}
 		op.retx++
 		if h.Cfg.MaxRetx > 0 && op.retx > h.Cfg.MaxRetx {
 			// Retransmission budget exhausted: report the stall (once per
@@ -208,10 +221,13 @@ func (c *conn) onRTO() {
 			exhausted = true
 			continue
 		}
+		kept = append(kept, psn)
 		h.Stats.PktsRetx++
 		h.emit(c.buildPacket(op, psn))
 		rearm = true
 	}
+	c.relOrder = kept
+	c.relStale = 0
 	if rearm {
 		c.rto.reset(h.Cfg.RTO * sim.Time(1+min(4, c.minRetx())))
 	}
@@ -242,22 +258,20 @@ func (c *conn) minRetx() int {
 func (c *conn) buildPacket(op *outPkt, psn uint32) *netsim.Packet {
 	s := op.scat
 	m := &s.msgs[op.msgIdx]
-	var payload any
+	pkt := netsim.GetPacket()
+	pkt.Kind = netsim.KindData
+	pkt.Src = c.key.src
+	pkt.Dst = c.key.dst
+	pkt.MsgTS = s.ts
+	pkt.Reliable = s.reliable
+	pkt.PSN = psn
+	pkt.FragIdx = uint16(op.frag)
+	pkt.EndOfMsg = op.endOfMsg
+	pkt.Size = op.size + netsim.HeaderBytes
 	if op.endOfMsg {
-		payload = m.Data
+		pkt.Payload = m.Data
 	}
-	return &netsim.Packet{
-		Kind:     netsim.KindData,
-		Src:      c.key.src,
-		Dst:      c.key.dst,
-		MsgTS:    s.ts,
-		Reliable: s.reliable,
-		PSN:      psn,
-		FragIdx:  uint16(op.frag),
-		EndOfMsg: op.endOfMsg,
-		Size:     op.size + netsim.HeaderBytes,
-		Payload:  payload,
-	}
+	return pkt
 }
 
 // dropInflight abandons an un-ACKed packet (destination failed, scattering
@@ -267,9 +281,29 @@ func (c *conn) dropInflight(k int, psn uint32) {
 		return
 	}
 	delete(c.unacked[k], psn)
+	if k == 1 {
+		c.relRemoved()
+	}
 	c.inflight--
 	if len(c.unacked[1]) == 0 {
 		c.rto.stop()
+	}
+}
+
+// relRemoved notes that a reliable PSN left unacked[1] outside the RTO walk
+// and compacts relOrder once stale entries dominate it, keeping the slice
+// bounded by the in-flight window between RTO firings.
+func (c *conn) relRemoved() {
+	c.relStale++
+	if c.relStale > 64 && c.relStale*2 > len(c.relOrder) {
+		kept := c.relOrder[:0]
+		for _, psn := range c.relOrder {
+			if _, ok := c.unacked[1][psn]; ok {
+				kept = append(kept, psn)
+			}
+		}
+		c.relOrder = kept
+		c.relStale = 0
 	}
 }
 
@@ -536,7 +570,9 @@ func (h *Host) reapOutstanding() {
 
 func (h *Host) sendCommit() {
 	h.Stats.Commits++
-	h.emit(&netsim.Packet{Kind: netsim.KindCommit, Src: h.reprProc, Size: netsim.BeaconBytes})
+	pkt := netsim.GetPacket()
+	pkt.Kind, pkt.Src, pkt.Size = netsim.KindCommit, h.reprProc, netsim.BeaconBytes
+	h.emit(pkt)
 }
 
 // beSendTimeout fires the best-effort loss-detection timer: every message

@@ -170,7 +170,9 @@ func (h *Host) beaconTick() {
 
 func (h *Host) sendBeacon() {
 	h.Stats.Beacons++
-	h.emit(&netsim.Packet{Kind: netsim.KindBeacon, Src: h.reprProc, Size: netsim.BeaconBytes})
+	pkt := netsim.GetPacket()
+	pkt.Kind, pkt.Src, pkt.Size = netsim.KindBeacon, h.reprProc, netsim.BeaconBytes
+	h.emit(pkt)
 }
 
 // emit stamps the barrier fields every host packet carries and sends it.
@@ -249,10 +251,10 @@ func (p *Proc) SendRaw(dst netsim.ProcID, data any, size int) {
 	if size <= 0 {
 		size = 64
 	}
-	p.host.emit(&netsim.Packet{
-		Kind: netsim.KindCtrl, Src: p.ID, Dst: dst,
-		Payload: data, Size: size + netsim.HeaderBytes,
-	})
+	pkt := netsim.GetPacket()
+	pkt.Kind, pkt.Src, pkt.Dst = netsim.KindCtrl, p.ID, dst
+	pkt.Payload, pkt.Size = data, size+netsim.HeaderBytes
+	p.host.emit(pkt)
 }
 
 // AddProc registers a process on this host.

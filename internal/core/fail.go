@@ -206,10 +206,10 @@ func (h *Host) abortScattering(s *scattering) {
 }
 
 func (h *Host) sendRecall(src netsim.ProcID, rk recallKey) {
-	h.emit(&netsim.Packet{
-		Kind: netsim.KindRecall, Src: src, Dst: rk.dst,
-		MsgTS: rk.ts, Size: netsim.BeaconBytes,
-	})
+	pkt := netsim.GetPacket()
+	pkt.Kind, pkt.Src, pkt.Dst = netsim.KindRecall, src, rk.dst
+	pkt.MsgTS, pkt.Size = rk.ts, netsim.BeaconBytes
+	h.emit(pkt)
 }
 
 func (h *Host) resendRecall(rk recallKey, rs *recallState) {
@@ -251,10 +251,10 @@ func (h *Host) finishRecall(rk recallKey, rs *recallState) {
 // member identified by (sender, timestamp) and acknowledge.
 func (h *Host) handleRecall(pkt *netsim.Packet) {
 	h.ApplyRecallTombstone(pkt.Src, pkt.MsgTS)
-	h.emit(&netsim.Packet{
-		Kind: netsim.KindRecallAck, Src: pkt.Dst, Dst: pkt.Src,
-		MsgTS: pkt.MsgTS, Size: netsim.BeaconBytes,
-	})
+	ack := netsim.GetPacket()
+	ack.Kind, ack.Src, ack.Dst = netsim.KindRecallAck, pkt.Dst, pkt.Src
+	ack.MsgTS, ack.Size = pkt.MsgTS, netsim.BeaconBytes
+	h.emit(ack)
 }
 
 // ApplyRecallTombstone discards the scattering member (sender, ts) without

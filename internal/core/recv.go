@@ -56,6 +56,10 @@ type asmBuf struct {
 	done     map[uint32]bool
 	frags    map[uint32]*netsim.Packet
 	capped   bool // best-effort: bound the done set by forcing doneBase forward
+	// free, when set, releases consumed fragments back to the packet pool.
+	// Production buffers (getRconn) wire it to netsim.PutPacket; unit tests
+	// that drive the buffer with their own reusable packets leave it nil.
+	free func(*netsim.Packet)
 }
 
 func newAsmBuf(capped bool) *asmBuf {
@@ -107,8 +111,15 @@ func (a *asmBuf) add(pkt *netsim.Packet) (last *netsim.Packet, size int, complet
 		j++
 	}
 	for k := start; k <= j; k++ {
+		f := a.frags[k]
 		delete(a.frags, k)
 		a.markDone(k)
+		// Consumed non-final fragments are terminal here; the final fragment
+		// is returned to the caller, which releases it after the payload
+		// reference has been copied out.
+		if a.free != nil && f != last {
+			a.free(f)
+		}
 	}
 	return last, size, true
 }
@@ -132,6 +143,9 @@ func (a *asmBuf) skip(pkt *netsim.Packet) {
 		}
 		delete(a.frags, j)
 		a.markDone(j)
+		if a.free != nil {
+			a.free(f)
+		}
 		if f.EndOfMsg {
 			break
 		}
@@ -144,6 +158,9 @@ func (a *asmBuf) dropWhere(pred func(*netsim.Packet) bool) {
 		if pred(f) {
 			delete(a.frags, psn)
 			a.markDone(psn)
+			if a.free != nil {
+				a.free(f)
+			}
 		}
 	}
 }
@@ -161,6 +178,8 @@ func (h *Host) getRconn(src, dst netsim.ProcID) *rconn {
 		rc = &rconn{key: k}
 		rc.bufs[0] = newAsmBuf(true)
 		rc.bufs[1] = newAsmBuf(false)
+		rc.bufs[0].free = netsim.PutPacket
+		rc.bufs[1].free = netsim.PutPacket
 		h.rconns[k] = rc
 	}
 	return rc
@@ -169,8 +188,13 @@ func (h *Host) getRconn(src, dst netsim.ProcID) *rconn {
 // HandlePacket is the host's network receive entry point; the substrate
 // adapter (netsim or livenet) calls it for every packet delivered to the
 // host, beacons included.
+//
+// HandlePacket takes ownership of pkt and releases it to the packet pool
+// once consumed; data packets buffered for reassembly are released when the
+// assembly buffer consumes them. Callers must not touch pkt afterwards.
 func (h *Host) HandlePacket(pkt *netsim.Packet) {
 	if h.stopped {
+		netsim.PutPacket(pkt)
 		return
 	}
 	switch pkt.Kind {
@@ -180,7 +204,8 @@ func (h *Host) HandlePacket(pkt *netsim.Packet) {
 		if h.Cfg.UseDataBarriers {
 			h.updateBarriers(pkt.BarrierBE, pkt.BarrierC)
 		}
-		h.handleData(pkt)
+		h.handleData(pkt) // takes ownership: pkt may be buffered
+		return
 	case netsim.KindAck:
 		if h.Cfg.UseDataBarriers {
 			h.updateBarriers(pkt.BarrierBE, pkt.BarrierC)
@@ -207,6 +232,7 @@ func (h *Host) HandlePacket(pkt *netsim.Packet) {
 			proc.OnRaw(pkt.Src, pkt.Payload)
 		}
 	}
+	netsim.PutPacket(pkt)
 }
 
 func (h *Host) updateBarriers(be, c sim.Time) {
@@ -237,6 +263,7 @@ func (h *Host) handleData(pkt *netsim.Packet) {
 	if buf.isDup(pkt.PSN) {
 		h.Stats.DupPkts++
 		h.ackPacket(pkt) // retransmission of a consumed packet: re-ACK
+		netsim.PutPacket(pkt)
 		return
 	}
 	// Ordering check: a best-effort packet whose message timestamp can no
@@ -245,21 +272,28 @@ func (h *Host) handleData(pkt *netsim.Packet) {
 	// a duplicate of a committed message.
 	if !pkt.Reliable && pkt.MsgTS < h.deliveredFloorBE() {
 		h.Stats.Naks++
-		h.emit(&netsim.Packet{Kind: netsim.KindNak, Src: pkt.Dst, Dst: pkt.Src,
-			PSN: pkt.PSN, MsgTS: pkt.MsgTS, Size: netsim.BeaconBytes})
+		nak := netsim.GetPacket()
+		nak.Kind, nak.Src, nak.Dst = netsim.KindNak, pkt.Dst, pkt.Src
+		nak.PSN, nak.MsgTS, nak.Size = pkt.PSN, pkt.MsgTS, netsim.BeaconBytes
+		h.emit(nak)
 		buf.skip(pkt)
+		netsim.PutPacket(pkt)
 		return
 	}
 	if pkt.Reliable && pkt.MsgTS <= h.deliveredC {
 		h.Stats.DupPkts++
 		h.ackPacket(pkt)
 		buf.skip(pkt)
+		netsim.PutPacket(pkt)
 		return
 	}
 	h.ackPacket(pkt)
 	last, size, complete := buf.add(pkt)
 	if complete {
+		// enqueueMsg copies the payload reference out of the final fragment;
+		// the carrier packet itself is terminal here.
 		h.enqueueMsg(last, size)
+		netsim.PutPacket(last)
 		h.drain()
 	}
 }
@@ -294,11 +328,11 @@ func (h *Host) ackPacket(pkt *netsim.Packet) {
 		return
 	}
 	if h.Cfg.AckFlush <= 0 {
-		h.emit(&netsim.Packet{
-			Kind: netsim.KindAck, Src: pkt.Dst, Dst: pkt.Src,
-			PSN: pkt.PSN, MsgTS: pkt.MsgTS, ECN: pkt.ECN, Reliable: pkt.Reliable,
-			Size: netsim.BeaconBytes,
-		})
+		ack := netsim.GetPacket()
+		ack.Kind, ack.Src, ack.Dst = netsim.KindAck, pkt.Dst, pkt.Src
+		ack.PSN, ack.MsgTS, ack.ECN, ack.Reliable = pkt.PSN, pkt.MsgTS, pkt.ECN, pkt.Reliable
+		ack.Size = netsim.BeaconBytes
+		h.emit(ack)
 		return
 	}
 	k := ackKey{local: pkt.Dst, remote: pkt.Src, reliable: pkt.Reliable}
@@ -327,12 +361,12 @@ func (h *Host) flushAcks(k ackKey) {
 	batch := p.batch
 	p.batch = ackBatch{}
 	p.timer.stop()
-	h.emit(&netsim.Packet{
-		Kind: netsim.KindAck, Src: k.local, Dst: k.remote,
-		PSN: batch.psns[0], Reliable: k.reliable,
-		Payload: batch,
-		Size:    netsim.HeaderBytes + 5*len(batch.psns),
-	})
+	ack := netsim.GetPacket()
+	ack.Kind, ack.Src, ack.Dst = netsim.KindAck, k.local, k.remote
+	ack.PSN, ack.Reliable = batch.psns[0], k.reliable
+	ack.Payload = batch
+	ack.Size = netsim.HeaderBytes + 5*len(batch.psns)
+	h.emit(ack)
 }
 
 func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {

@@ -219,15 +219,18 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 	}
 	switch pkt.Kind {
 	case netsim.KindBeacon, netsim.KindCommit:
+		netsim.PutPacket(pkt)
 		return // consumed: registers updated
 	}
 	if n.cfg.LossRate > 0 && n.rng.Float64() < n.cfg.LossRate {
+		netsim.PutPacket(pkt)
 		return // injected loss: barrier registers updated, packet gone
 	}
 	be, c := n.aggregate()
 	pkt.BarrierBE, pkt.BarrierC = be, c
 	dstHost := int(pkt.Dst) / n.cfg.ProcsPerHost
 	if dstHost < 0 || dstHost >= len(n.hosts) {
+		netsim.PutPacket(pkt)
 		return
 	}
 	time.AfterFunc(n.cfg.LinkDelay, func() {
@@ -259,7 +262,8 @@ func (n *Net) relayBeacons() {
 	be, c := n.aggregate()
 	for h := range n.hosts {
 		h := h
-		pkt := &netsim.Packet{Kind: netsim.KindBeacon, BarrierBE: be, BarrierC: c, Size: netsim.BeaconBytes}
+		pkt := netsim.GetPacket()
+		pkt.Kind, pkt.BarrierBE, pkt.BarrierC, pkt.Size = netsim.KindBeacon, be, c, netsim.BeaconBytes
 		time.AfterFunc(n.cfg.LinkDelay, func() {
 			n.post(func() { n.hosts[h].HandlePacket(pkt) })
 		})

@@ -51,9 +51,13 @@ type linkState struct {
 	lastTxC  sim.Time
 	// lastArrival enforces FIFO under jitter.
 	lastArrival sim.Time
-	// Beacon relay state for the egress side.
+	// Beacon relay state for the egress side. pendBE/pendC hold the
+	// barriers captured at relay-trigger time until the beacon fires
+	// (beaconPending serializes the two-step relay per link).
 	beaconPending bool
 	lastBeaconTx  sim.Time
+	pendBE        sim.Time
+	pendC         sim.Time
 	// Receiver-side per-input-link state (the switch registers of §4.1).
 	regBE  sim.Time
 	regC   sim.Time
@@ -112,6 +116,20 @@ type Network struct {
 	Obs *obs.Trace
 
 	tickers []*sim.Ticker
+
+	// Capture-free event callbacks for the per-packet hops, allocated once
+	// so the hot path schedules through Engine.At2 without a closure per
+	// packet.
+	transmitFn     func(a, b any)
+	receiveFn      func(a, b any)
+	deliverFn      func(a, b any)
+	relayTriggerFn func(a, b any)
+	relayFireFn    func(a, b any)
+
+	// hopsBuf is the per-hop ECMP candidate scratch. The engine is
+	// single-threaded and the slice never escapes receive, so one buffer
+	// serves every routing decision without allocating.
+	hopsBuf []topology.LinkID
 }
 
 // New builds the network, its clocks and its beacon machinery.
@@ -128,6 +146,18 @@ func New(cfg Config) *Network {
 		Eng: eng, G: g, Cfg: cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed + 7919)),
 		hostRx: make([]func(*Packet), len(g.Hosts)),
+	}
+	n.transmitFn = func(a, b any) { n.transmit(a.(*linkState), b.(*Packet)) }
+	n.receiveFn = func(a, b any) { n.receive(a.(*linkState), b.(*Packet)) }
+	n.deliverFn = func(a, b any) { a.(func(*Packet))(b.(*Packet)) }
+	n.relayTriggerFn = func(a, b any) {
+		node, ls := a.(*nodeState), b.(*linkState)
+		ls.pendBE, ls.pendC = n.nodeBarriers(node)
+		n.Eng.After2(n.beaconProcDelay(), n.relayFireFn, node, ls)
+	}
+	n.relayFireFn = func(a, b any) {
+		ls := b.(*linkState)
+		n.fireBeacon(a.(*nodeState), ls, ls.pendBE, ls.pendC)
 	}
 	for i := 0; i < len(g.Hosts); i++ {
 		n.Clocks = append(n.Clocks, clock.New(eng, eng.Rand(), cfg.Clock))
@@ -211,9 +241,7 @@ func (n *Network) uplink(host int) *linkState {
 // (Dst ignored); data goes toward Dst's host.
 func (n *Network) SendFromHost(host int, pkt *Packet) {
 	pkt.SentAt = n.Eng.Now()
-	n.Eng.After(n.Cfg.HostDelay, func() {
-		n.transmit(n.uplink(host), pkt)
-	})
+	n.Eng.After2(n.Cfg.HostDelay, n.transmitFn, n.uplink(host), pkt)
 }
 
 // SendFromProc is SendFromHost keyed by source process.
@@ -225,6 +253,7 @@ func (n *Network) SendFromProc(p ProcID, pkt *Packet) {
 func (n *Network) transmit(l *linkState, pkt *Packet) {
 	if n.G.LinkDead(l.id) {
 		n.Stats.DeadDrop++
+		PutPacket(pkt)
 		return
 	}
 	now := n.Eng.Now()
@@ -235,6 +264,7 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 	qdelay := start - now
 	if n.Cfg.QueueLimit > 0 && qdelay > n.Cfg.QueueLimit {
 		n.Stats.QueueDrop++
+		PutPacket(pkt)
 		return
 	}
 	pkt.QueueWait += qdelay
@@ -260,7 +290,8 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 	n.Stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
 	if n.Cfg.LossRate > 0 && n.rng.Float64() < n.Cfg.LossRate {
 		n.Stats.CorruptDrop++
-		return // corrupted in flight; bandwidth already consumed
+		PutPacket(pkt) // corrupted in flight; bandwidth already consumed
+		return
 	}
 	arrive := l.busy + l.prop
 	if j := n.Cfg.Jitter; j > 0 {
@@ -280,13 +311,14 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 		}
 		l.lastArrival = arrive
 	}
-	n.Eng.At(arrive, func() { n.receive(l, pkt) })
+	n.Eng.At2(arrive, n.receiveFn, l, pkt)
 }
 
 // receive handles packet arrival at the downstream end of a link.
 func (n *Network) receive(l *linkState, pkt *Packet) {
 	if n.G.NodeDead(l.to) {
 		n.Stats.DeadDrop++
+		PutPacket(pkt)
 		return
 	}
 	now := n.Eng.Now()
@@ -315,7 +347,11 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		n.Stats.Delivered++
 		host := n.hostIndexOf(l.to)
 		if rx := n.hostRx[host]; rx != nil {
-			n.Eng.After(n.Cfg.HostDelay, func() { rx(pkt) })
+			// Ownership transfers to the host layer: core's receive path
+			// releases the packet once it is terminally consumed.
+			n.Eng.After2(n.Cfg.HostDelay, n.deliverFn, rx, pkt)
+		} else {
+			PutPacket(pkt)
 		}
 		return
 	}
@@ -336,6 +372,7 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		// Hop-by-hop: consumed here; the barrier they carried now lives in
 		// the input-link registers and will propagate via this switch's
 		// own egress stamping and beacons.
+		PutPacket(pkt)
 		return
 	}
 
@@ -348,9 +385,11 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		pkt.BarrierBE, pkt.BarrierC = be, c
 	}
 	dstHost := n.G.Host(n.HostOfProc(pkt.Dst))
-	hops := n.G.NextHops(l.to, dstHost)
+	n.hopsBuf = n.G.AppendNextHops(n.hopsBuf[:0], l.to, dstHost)
+	hops := n.hopsBuf
 	if len(hops) == 0 {
 		n.Stats.DeadDrop++
+		PutPacket(pkt)
 		return
 	}
 	var out topology.LinkID
@@ -372,7 +411,7 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	if n.Cfg.NonuniformPipeline && l.kind == topology.LinkLoopback {
 		fwd = 0 // chaos-harness self-test: the pre-fix nonuniform pipeline
 	}
-	n.Eng.After(fwd, func() { n.transmit(&n.links[out], pkt) })
+	n.Eng.After2(fwd, n.transmitFn, &n.links[out], pkt)
 }
 
 func (n *Network) hostIndexOf(id topology.NodeID) int {
@@ -464,10 +503,10 @@ func (n *Network) armRelay(node *nodeState, ls *linkState) {
 	if earliest := ls.lastBeaconTx + n.Cfg.BeaconInterval - proc; earliest > trigger {
 		trigger = earliest
 	}
-	n.Eng.At(trigger, func() {
-		be, c := n.nodeBarriers(node)
-		n.Eng.After(proc, func() { n.fireBeacon(node, ls, be, c) })
-	})
+	// Two allocation-free steps: the trigger captures the barrier stamp
+	// into ls.pendBE/pendC (beaconPending serializes access), the fire
+	// step emits it one processing delay later.
+	n.Eng.At2(trigger, n.relayTriggerFn, node, ls)
 }
 
 // fireBeacon emits a beacon carrying barriers captured at trigger time on
@@ -489,7 +528,9 @@ func (n *Network) fireBeacon(node *nodeState, ls *linkState, be, c sim.Time) {
 		return // traffic on this link already carried these barriers
 	}
 	ls.lastBeaconTx = now
-	n.transmit(ls, &Packet{Kind: KindBeacon, BarrierBE: be, BarrierC: c, Size: BeaconBytes})
+	pkt := GetPacket()
+	pkt.Kind, pkt.BarrierBE, pkt.BarrierC, pkt.Size = KindBeacon, be, c, BeaconBytes
+	n.transmit(ls, pkt)
 }
 
 // startSwitchBeacons arms the fallback ticker per switch egress link: if no

@@ -12,6 +12,7 @@ package netsim
 
 import (
 	"fmt"
+	"sync"
 
 	"onepipe/internal/sim"
 )
@@ -127,10 +128,42 @@ type Packet struct {
 	// traffic on every link along its path. Simulator-side accounting only;
 	// it is not part of the wire format and never crosses a real NIC.
 	QueueWait sim.Time
+
+	// pooled guards against double-release; see PutPacket.
+	pooled bool
 }
 
 func (p *Packet) String() string {
 	return fmt.Sprintf("%s %d->%d ts=%v be=%v c=%v psn=%d", p.Kind, p.Src, p.Dst, p.MsgTS, p.BarrierBE, p.BarrierC, p.PSN)
+}
+
+// pktPool recycles Packet structs across the send and receive hot paths.
+// See docs/performance.md for the ownership rules.
+var pktPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// GetPacket returns a zeroed Packet from the free list.
+//
+// Ownership: a packet handed to a Wire.Send / Network.SendFromHost takes
+// the network as owner; the terminal consumer — the switch for beacons and
+// commits, the drop site for lost packets, core's receive path for
+// host-delivered packets — releases it with PutPacket. Code that constructs
+// packets with plain literals keeps working: such packets simply join the
+// pool on their first release.
+func GetPacket() *Packet {
+	p := pktPool.Get().(*Packet)
+	p.pooled = false
+	return p
+}
+
+// PutPacket resets p and returns it to the free list. Releasing the same
+// packet twice is an ownership bug that would silently alias two in-flight
+// packets; it panics instead.
+func PutPacket(p *Packet) {
+	if p.pooled {
+		panic("netsim: PutPacket called twice on the same packet")
+	}
+	*p = Packet{pooled: true}
+	pktPool.Put(p)
 }
 
 // Mode selects the in-network processing incarnation (§6.2).

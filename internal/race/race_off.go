@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package race reports whether the race detector is compiled in, so
+// allocation-regression tests can skip themselves: the detector's
+// instrumentation adds allocations that testing.AllocsPerRun would count
+// against the hot path.
+package race
+
+// Enabled is true when the binary was built with -race.
+const Enabled = false

@@ -5,10 +5,16 @@
 // executes them in (time, sequence) order. Determinism is guaranteed by the
 // FIFO tie-break on equal timestamps and by the seeded random source, so a
 // simulation run is exactly reproducible from its seed.
+//
+// The event queue is a monomorphic 4-ary min-heap over a concrete event
+// struct: no container/heap, no interface boxing, no allocation per
+// scheduled event once the backing array has grown to the working set. The
+// (time, seq) tie-break gives every event a unique total-order key, so the
+// pop order — and therefore every simulation trace — is byte-identical to
+// the previous binary-heap implementation.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 )
@@ -37,25 +43,17 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 // Micros converts a virtual duration to floating-point microseconds.
 func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 
+// event is one queue entry. Exactly one of fn / fn2 is set: fn2 events
+// carry their two arguments inline, so hot callers (netsim's per-packet
+// transmit/receive hops) schedule without allocating a capturing closure —
+// pointer-shaped arguments box into `any` for free.
 type event struct {
-	at  Time
-	seq uint64 // tie-break: FIFO among events with equal time
-	fn  func()
+	at   Time
+	seq  uint64 // tie-break: FIFO among events with equal time
+	fn   func()
+	fn2  func(a, b any)
+	a, b any
 }
-
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
 
 // Engine is a discrete-event simulation loop.
 //
@@ -63,7 +61,7 @@ func (h eventHeap) peek() event   { return h[0] }
 type Engine struct {
 	now    Time
 	seq    uint64
-	events eventHeap
+	events []event // 4-ary min-heap ordered by (at, seq)
 	rng    *rand.Rand
 	// Executed counts events run so far; useful as a progress and
 	// runaway-loop diagnostic.
@@ -84,19 +82,95 @@ func (e *Engine) Now() Time { return e.now }
 // reproducible.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// is clamped to the current time (the event runs next, after already-pending
-// events at the current time).
-func (e *Engine) At(t Time, fn func()) {
+// push inserts ev, sifting up through 4-ary parents. The held element is
+// written once at its final slot instead of swapping pairwise.
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if h[p].at < ev.at || (h[p].at == ev.at && h[p].seq < ev.seq) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = ev
+}
+
+// pop removes and returns the minimum event. The vacated tail slot is
+// zeroed so the backing array does not retain closures or boxed arguments.
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = event{}
+	h = h[:n]
+	e.events = h
+	if n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if h[j].at < h[m].at || (h[j].at == h[m].at && h[j].seq < h[m].seq) {
+					m = j
+				}
+			}
+			if last.at < h[m].at || (last.at == h[m].at && last.seq < h[m].seq) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = last
+	}
+	return top
+}
+
+// schedule clamps t to the present, assigns the FIFO sequence number and
+// enqueues.
+func (e *Engine) schedule(t Time, ev event) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	ev.at = t
+	ev.seq = e.seq
+	e.push(ev)
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// is clamped to the current time (the event runs next, after already-pending
+// events at the current time).
+func (e *Engine) At(t Time, fn func()) {
+	e.schedule(t, event{fn: fn})
 }
 
 // After schedules fn to run d nanoseconds from now.
 func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+
+// At2 schedules fn(a, b) at absolute virtual time t. Unlike At, no closure
+// is needed: callers keep one capture-free fn per call site and pass the
+// state as arguments, which makes scheduling allocation-free when a and b
+// are pointer-shaped (pointers, funcs, channels, maps).
+func (e *Engine) At2(t Time, fn func(a, b any), a, b any) {
+	e.schedule(t, event{fn2: fn, a: a, b: b})
+}
+
+// After2 schedules fn(a, b) to run d nanoseconds from now.
+func (e *Engine) After2(d Time, fn func(a, b any), a, b any) {
+	e.At2(e.now+d, fn, a, b)
+}
 
 // Step executes the next pending event, advancing virtual time. It reports
 // whether an event was executed.
@@ -104,10 +178,14 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.pop()
 	e.now = ev.at
 	e.Executed++
-	ev.fn()
+	if ev.fn != nil {
+		ev.fn()
+	} else {
+		ev.fn2(ev.a, ev.b)
+	}
 	return true
 }
 
@@ -121,7 +199,7 @@ func (e *Engine) Run() {
 // current time to the deadline. Events scheduled beyond the deadline remain
 // queued.
 func (e *Engine) RunUntil(deadline Time) {
-	for len(e.events) > 0 && e.events.peek().at <= deadline {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
 	if e.now < deadline {
@@ -141,5 +219,5 @@ func (e *Engine) NextEventTime() (Time, bool) {
 	if len(e.events) == 0 {
 		return 0, false
 	}
-	return e.events.peek().at, true
+	return e.events[0].at, true
 }

@@ -6,52 +6,57 @@ package topology
 // SDN controller reconfiguring routes around failures (§3.1). The result is
 // empty when the destination is unreachable from cur.
 func (g *Graph) NextHops(cur, dst NodeID) []LinkID {
+	return g.AppendNextHops(nil, cur, dst)
+}
+
+// AppendNextHops is NextHops appending into buf, so per-packet routing on
+// the simulator's hot path can reuse one scratch slice instead of
+// allocating candidates at every hop.
+func (g *Graph) AppendNextHops(buf []LinkID, cur, dst NodeID) []LinkID {
 	n := g.Nodes[cur]
 	d := g.Nodes[dst]
-	var out []LinkID
 	switch n.Kind {
 	case KindHost:
 		// Single uplink to the ToR.
-		out = g.filter(cur, func(l Link) bool { return l.Kind == LinkHostUp })
+		buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkHostUp })
 	case KindSwitchUp:
 		if n.Rack >= 0 {
 			// ToR uplink half: turn around for same-rack destinations,
 			// otherwise spread across pod spines.
 			if n.Rack == d.Rack {
-				out = g.filter(cur, func(l Link) bool { return l.Kind == LinkLoopback })
+				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkLoopback })
 			} else {
-				out = g.filter(cur, func(l Link) bool { return l.Kind == LinkTorSpineUp })
+				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkTorSpineUp })
 			}
 		} else {
 			// Spine uplink half: turn around within the pod, otherwise up
 			// to the cores.
 			if n.Pod == d.Pod {
-				out = g.filter(cur, func(l Link) bool { return l.Kind == LinkLoopback })
+				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkLoopback })
 			} else {
-				out = g.filter(cur, func(l Link) bool { return l.Kind == LinkSpineCoreUp })
+				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkSpineCoreUp })
 			}
 		}
 	case KindCore:
 		// Down into the destination pod.
-		out = g.filter(cur, func(l Link) bool {
+		buf = g.filter(buf, cur, func(l Link) bool {
 			return l.Kind == LinkCoreSpineDown && g.Nodes[l.To].Pod == d.Pod
 		})
 	case KindSwitchDown:
 		if n.Rack >= 0 {
 			// ToR downlink half: deliver to the host.
-			out = g.filter(cur, func(l Link) bool { return l.Kind == LinkTorHostDown && l.To == dst })
+			buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkTorHostDown && l.To == dst })
 		} else {
 			// Spine downlink half: down to the destination rack's ToR.
-			out = g.filter(cur, func(l Link) bool {
+			buf = g.filter(buf, cur, func(l Link) bool {
 				return l.Kind == LinkSpineTorDown && g.Nodes[l.To].Rack == d.Rack
 			})
 		}
 	}
-	return out
+	return buf
 }
 
-func (g *Graph) filter(cur NodeID, pred func(Link) bool) []LinkID {
-	var out []LinkID
+func (g *Graph) filter(out []LinkID, cur NodeID, pred func(Link) bool) []LinkID {
 	for _, lid := range g.Out[cur] {
 		l := g.Links[lid]
 		if pred(l) && !g.LinkDead(lid) {

@@ -32,6 +32,7 @@ type Switch struct {
 	closed  bool
 	stopped chan struct{}
 	wg      sync.WaitGroup
+	encBuf  []byte // reusable forward-path encode buffer; guarded by mu
 	// regNotify is signalled (non-blocking, capacity 1) whenever a NEW host
 	// registers, so Start can wait on registration instead of polling.
 	regNotify chan struct{}
@@ -86,16 +87,19 @@ func (s *Switch) registered() int {
 func (s *Switch) readLoop() {
 	defer s.wg.Done()
 	buf := make([]byte, 64*1024)
+	// One packet struct serves every datagram: handle() forwards or drops
+	// synchronously and never retains it.
+	var pkt netsim.Packet
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
 		if err != nil {
 			return
 		}
-		pkt, payload, derr := wire.Decode(buf[:n], sim.Time(time.Since(s.epoch)))
+		payload, derr := wire.DecodeInto(&pkt, buf[:n], sim.Time(time.Since(s.epoch)))
 		if derr != nil {
 			continue
 		}
-		s.handle(pkt, payload, buf[:n], from)
+		s.handle(&pkt, payload, buf[:n], from)
 	}
 }
 
@@ -148,11 +152,12 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 		return
 	}
 	// Restamp the barrier fields in the raw datagram (the chip path:
-	// rewrite two header fields, forward the rest untouched).
+	// rewrite two header fields, forward the rest untouched). The encode
+	// buffer is owned by the switch and reused under the lock.
 	pkt.BarrierBE, pkt.BarrierC = be, c
-	out := wire.Encode(pkt, payload)
+	s.encBuf = wire.AppendEncode(s.encBuf[:0], pkt, payload)
 	s.Forwarded++
-	s.conn.WriteToUDP(out, dst)
+	s.conn.WriteToUDP(s.encBuf, dst)
 }
 
 func (s *Switch) aggregateLocked() (sim.Time, sim.Time) {

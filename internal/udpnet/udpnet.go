@@ -216,15 +216,28 @@ func (w udpWire) After(d sim.Time, fn func()) {
 	})
 }
 
+// sendBufPool recycles encode buffers across Send calls; each is large
+// enough for a max-size datagram so AppendEncode never grows it.
+var sendBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
 func (w udpWire) Send(pkt *netsim.Packet) {
 	var payload []byte
 	if b, ok := pkt.Payload.([]byte); ok && pkt.EndOfMsg {
 		payload = b
 	}
-	buf := wire.Encode(pkt, payload)
+	bp := sendBufPool.Get().(*[]byte)
+	buf := wire.AppendEncode((*bp)[:0], pkt, payload)
 	// Fire-and-forget datagram to the switch; UDP send errors surface as
 	// loss, which the protocol already tolerates.
 	w.h.conn.WriteToUDP(buf, w.h.swAddr)
+	*bp = buf[:0]
+	sendBufPool.Put(bp)
+	netsim.PutPacket(pkt) // the wire owns the packet once sent
 }
 
 func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time) (*HostNode, error) {
@@ -270,16 +283,21 @@ func (h *HostNode) readLoop() {
 		if err != nil {
 			return // socket closed
 		}
-		pkt, payload, derr := wire.Decode(buf[:n], sim.Time(time.Since(h.epoch)))
+		pkt := netsim.GetPacket()
+		payload, derr := wire.DecodeInto(pkt, buf[:n], sim.Time(time.Since(h.epoch)))
 		if derr != nil {
+			netsim.PutPacket(pkt)
 			continue
 		}
 		if len(payload) > 0 {
+			// The payload aliases the read buffer; copy before the next read.
 			pkt.Payload = append([]byte(nil), payload...)
 		}
 		h.mu.Lock()
 		if !h.closed {
-			h.core.HandlePacket(pkt)
+			h.core.HandlePacket(pkt) // consumes pkt
+		} else {
+			netsim.PutPacket(pkt)
 		}
 		h.mu.Unlock()
 	}

@@ -97,7 +97,23 @@ func get48(b []byte) uint64 {
 // of the in-memory packet is not serialized (it holds Go values in the
 // simulator); payload carries the application bytes for the UDP transport.
 func Encode(pkt *netsim.Packet, payload []byte) []byte {
-	buf := make([]byte, HeaderLen+len(payload))
+	return AppendEncode(nil, pkt, payload)
+}
+
+// AppendEncode serializes pkt into dst, reusing dst's capacity, and returns
+// the extended slice. With a dst of capacity >= HeaderLen+len(payload) —
+// typically a pooled send buffer sliced to dst[:0] — it does not allocate.
+func AppendEncode(dst []byte, pkt *netsim.Packet, payload []byte) []byte {
+	off := len(dst)
+	n := off + HeaderLen + len(payload)
+	if cap(dst) < n {
+		grown := make([]byte, n)
+		copy(grown, dst)
+		dst = grown
+	} else {
+		dst = dst[:n]
+	}
+	buf := dst[off:]
 	put48(buf[0:], WrapTS(pkt.MsgTS))
 	put48(buf[6:], WrapTS(pkt.BarrierBE))
 	put48(buf[12:], WrapTS(pkt.BarrierC))
@@ -119,38 +135,51 @@ func Encode(pkt *netsim.Packet, payload []byte) []byte {
 	binary.BigEndian.PutUint32(buf[30:], uint32(pkt.Dst))
 	binary.BigEndian.PutUint32(buf[34:], uint32(len(payload)))
 	copy(buf[HeaderLen:], payload)
-	return buf
+	return dst
 }
 
 // Decode parses a packet. ref anchors 48-bit timestamps back onto the full
 // time line (use the receiver's current clock). The returned payload
 // aliases buf.
 func Decode(buf []byte, ref sim.Time) (*netsim.Packet, []byte, error) {
+	pkt := &netsim.Packet{}
+	payload, err := DecodeInto(pkt, buf, ref)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkt, payload, nil
+}
+
+// DecodeInto parses buf into a caller-supplied packet — typically one from
+// netsim.GetPacket — without allocating. Fields not present on the wire
+// (Payload, SentAt, QueueWait) are zeroed. The returned payload aliases buf.
+func DecodeInto(pkt *netsim.Packet, buf []byte, ref sim.Time) ([]byte, error) {
 	if len(buf) < HeaderLen {
-		return nil, nil, ErrShort
+		return nil, ErrShort
 	}
 	kind := netsim.Kind(buf[24])
 	if kind > netsim.KindCtrl {
-		return nil, nil, fmt.Errorf("%w: %d", ErrBadOpcode, buf[24])
+		return nil, fmt.Errorf("%w: %d", ErrBadOpcode, buf[24])
 	}
 	plen := binary.BigEndian.Uint32(buf[34:])
 	if len(buf) < HeaderLen+int(plen) {
-		return nil, nil, ErrShort
+		return nil, ErrShort
 	}
 	flags := buf[25]
-	pkt := &netsim.Packet{
-		Kind:      kind,
-		MsgTS:     UnwrapTS(get48(buf[0:]), ref),
-		BarrierBE: UnwrapTS(get48(buf[6:]), ref),
-		BarrierC:  UnwrapTS(get48(buf[12:]), ref),
-		PSN:       binary.BigEndian.Uint32(buf[18:]),
-		FragIdx:   binary.BigEndian.Uint16(buf[22:]),
-		EndOfMsg:  flags&flagEndOfMsg != 0,
-		Reliable:  flags&flagReliable != 0,
-		ECN:       flags&flagECN != 0,
-		Src:       netsim.ProcID(binary.BigEndian.Uint32(buf[26:])),
-		Dst:       netsim.ProcID(binary.BigEndian.Uint32(buf[30:])),
-		Size:      HeaderLen + int(plen),
-	}
-	return pkt, buf[HeaderLen : HeaderLen+plen], nil
+	pkt.Kind = kind
+	pkt.MsgTS = UnwrapTS(get48(buf[0:]), ref)
+	pkt.BarrierBE = UnwrapTS(get48(buf[6:]), ref)
+	pkt.BarrierC = UnwrapTS(get48(buf[12:]), ref)
+	pkt.PSN = binary.BigEndian.Uint32(buf[18:])
+	pkt.FragIdx = binary.BigEndian.Uint16(buf[22:])
+	pkt.EndOfMsg = flags&flagEndOfMsg != 0
+	pkt.Reliable = flags&flagReliable != 0
+	pkt.ECN = flags&flagECN != 0
+	pkt.Src = netsim.ProcID(binary.BigEndian.Uint32(buf[26:]))
+	pkt.Dst = netsim.ProcID(binary.BigEndian.Uint32(buf[30:]))
+	pkt.Size = HeaderLen + int(plen)
+	pkt.Payload = nil
+	pkt.SentAt = 0
+	pkt.QueueWait = 0
+	return buf[HeaderLen : HeaderLen+plen], nil
 }

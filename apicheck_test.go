@@ -1,0 +1,205 @@
+package onepipe_test
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// apiBaselinePath is the committed exported-API surface of the root
+// package. CI runs TestAPIBaseline to fail pull requests that change or
+// remove anything in it; regenerate deliberately with
+//
+//	ONEPIPE_API_BASELINE_WRITE=1 go test -run TestAPIBaseline .
+const apiBaselinePath = "api/onepipe.baseline"
+
+// apiSurface extracts one normalized line per exported declaration of the
+// package in dir: functions, methods on exported types, exported struct
+// fields, interface methods, consts and vars. Only the stdlib go/ast
+// toolchain is used, so the check runs offline.
+func apiSurface(t *testing.T, dir string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", dir, err)
+	}
+	pkg := pkgs["onepipe"]
+	if pkg == nil {
+		t.Fatalf("package onepipe not found in %s", dir)
+	}
+
+	render := func(n ast.Node) string {
+		var b bytes.Buffer
+		if err := printer.Fprint(&b, fset, n); err != nil {
+			t.Fatalf("print: %v", err)
+		}
+		return strings.Join(strings.Fields(b.String()), " ")
+	}
+	recvType := func(fd *ast.FuncDecl) (string, bool) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return "", false
+		}
+		typ := fd.Recv.List[0].Type
+		star := ""
+		if p, ok := typ.(*ast.StarExpr); ok {
+			star, typ = "*", p.X
+		}
+		if g, ok := typ.(*ast.IndexExpr); ok { // generic receiver
+			typ = g.X
+		}
+		id, ok := typ.(*ast.Ident)
+		if !ok {
+			return "", false
+		}
+		return star + id.Name, ast.IsExported(id.Name)
+	}
+
+	var lines []string
+	add := func(format string, args ...any) { lines = append(lines, fmt.Sprintf(format, args...)) }
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					rt, exported := recvType(d)
+					if !exported {
+						continue
+					}
+					add("method (%s) %s%s", rt, d.Name.Name, strings.TrimPrefix(render(d.Type), "func"))
+				} else {
+					add("func %s%s", d.Name.Name, strings.TrimPrefix(render(d.Type), "func"))
+				}
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch s := spec.(type) {
+					case *ast.TypeSpec:
+						if !s.Name.IsExported() {
+							continue
+						}
+						switch typ := s.Type.(type) {
+						case *ast.StructType:
+							add("type %s struct", s.Name.Name)
+							for _, fld := range typ.Fields.List {
+								for _, nm := range fld.Names {
+									if nm.IsExported() {
+										add("field %s.%s %s", s.Name.Name, nm.Name, render(fld.Type))
+									}
+								}
+								if len(fld.Names) == 0 { // embedded
+									add("field %s embeds %s", s.Name.Name, render(fld.Type))
+								}
+							}
+						case *ast.InterfaceType:
+							add("type %s interface", s.Name.Name)
+							for _, m := range typ.Methods.List {
+								for _, nm := range m.Names {
+									if nm.IsExported() {
+										add("ifacemethod %s.%s%s", s.Name.Name, nm.Name,
+											strings.TrimPrefix(render(m.Type), "func"))
+									}
+								}
+								if len(m.Names) == 0 {
+									add("ifacemethod %s embeds %s", s.Name.Name, render(m.Type))
+								}
+							}
+						default:
+							kind := "= " + render(s.Type)
+							if s.Assign == token.NoPos {
+								kind = render(s.Type)
+							}
+							add("type %s %s", s.Name.Name, kind)
+						}
+					case *ast.ValueSpec:
+						kw := "var"
+						if d.Tok == token.CONST {
+							kw = "const"
+						}
+						for _, nm := range s.Names {
+							if nm.IsExported() {
+								if s.Type != nil {
+									add("%s %s %s", kw, nm.Name, render(s.Type))
+								} else {
+									add("%s %s", kw, nm.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// TestAPIBaseline diffs the root package's exported API surface against the
+// committed baseline. Removing or changing a declaration is an incompatible
+// API change and fails; purely additive changes are reported and require a
+// deliberate baseline regeneration.
+func TestAPIBaseline(t *testing.T) {
+	got := apiSurface(t, ".")
+	body := strings.Join(got, "\n") + "\n"
+
+	if os.Getenv("ONEPIPE_API_BASELINE_WRITE") != "" {
+		if err := os.MkdirAll(filepath.Dir(apiBaselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiBaselinePath, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d declarations)", apiBaselinePath, len(got))
+		return
+	}
+
+	raw, err := os.ReadFile(apiBaselinePath)
+	if err != nil {
+		t.Fatalf("missing %s — generate it with ONEPIPE_API_BASELINE_WRITE=1 go test -run TestAPIBaseline .", apiBaselinePath)
+	}
+	want := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+
+	have := make(map[string]bool, len(got))
+	for _, l := range got {
+		have[l] = true
+	}
+	baseline := make(map[string]bool, len(want))
+	var removed []string
+	for _, l := range want {
+		baseline[l] = true
+		if !have[l] {
+			removed = append(removed, l)
+		}
+	}
+	var added []string
+	for _, l := range got {
+		if !baseline[l] {
+			added = append(added, l)
+		}
+	}
+	if len(removed) > 0 {
+		t.Errorf("incompatible API change: %d baseline declaration(s) removed or altered:\n  %s",
+			len(removed), strings.Join(removed, "\n  "))
+	}
+	if len(added) > 0 {
+		msg := fmt.Sprintf("new exported declarations not in %s:\n  %s\nregenerate with ONEPIPE_API_BASELINE_WRITE=1 go test -run TestAPIBaseline .",
+			apiBaselinePath, strings.Join(added, "\n  "))
+		if len(removed) > 0 {
+			t.Error(msg)
+		} else {
+			t.Error("compatible but unrecorded API additions — " + msg)
+		}
+	}
+}

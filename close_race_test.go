@@ -1,0 +1,89 @@
+package onepipe_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"onepipe"
+)
+
+func closedSendErrCheck(t *testing.T, name string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s: send on closed fabric returned nil", name)
+	}
+	if !errors.Is(err, onepipe.ErrClosed) {
+		t.Fatalf("%s: send on closed fabric returned %v, want errors.Is(err, ErrClosed)", name, err)
+	}
+}
+
+// TestSendAfterCloseLive pins the shutdown contract on both live fabrics:
+// a send issued after Close returns a typed ErrClosed instead of panicking
+// or hanging on the dead event loop.
+func TestSendAfterCloseLive(t *testing.T) {
+	msg := []onepipe.Message{{Dst: 1, Data: []byte("late"), Size: 16}}
+
+	l := onepipe.NewLiveCluster(onepipe.LiveConfig{Hosts: 2, ProcsPerHost: 1})
+	l.Close()
+	closedSendErrCheck(t, "livenet", l.Process(0).Send(msg))
+	closedSendErrCheck(t, "livenet-reliable", l.Process(0).Send(msg, onepipe.Reliable()))
+
+	u, err := onepipe.NewUDPCluster(onepipe.LiveConfig{Hosts: 2, ProcsPerHost: 1})
+	if err != nil {
+		t.Fatalf("udp cluster: %v", err)
+	}
+	u.Close()
+	closedSendErrCheck(t, "udpnet", u.Process(0).Send(msg))
+}
+
+// TestSendRacingClose hammers Send from several goroutines while Close runs
+// concurrently. Every send must either succeed or fail with a well-typed
+// error; the original bug was a panic on the closed loop channel.
+func TestSendRacingClose(t *testing.T) {
+	for name, mk := range map[string]func() onepipe.Fabric{
+		"livenet": func() onepipe.Fabric {
+			return onepipe.NewLiveCluster(onepipe.LiveConfig{Hosts: 3, ProcsPerHost: 1})
+		},
+		"udpnet": func() onepipe.Fabric {
+			u, err := onepipe.NewUDPCluster(onepipe.LiveConfig{Hosts: 3, ProcsPerHost: 1})
+			if err != nil {
+				t.Fatalf("udp cluster: %v", err)
+			}
+			return u
+		},
+	} {
+		t.Run(name, func(t *testing.T) {
+			fab := mk()
+			msg := []onepipe.Message{{Dst: 2, Data: []byte("race"), Size: 16}}
+			var wg sync.WaitGroup
+			errs := make(chan error, 1024)
+			start := make(chan struct{})
+			for g := 0; g < 4; g++ {
+				g := g
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 200; i++ {
+						if err := fab.Process(g % 2).Send(msg); err != nil {
+							select {
+							case errs <- err:
+							default:
+							}
+						}
+					}
+				}()
+			}
+			close(start)
+			fab.Close()
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				if !errors.Is(err, onepipe.ErrClosed) {
+					t.Fatalf("send racing Close returned %v, want ErrClosed", err)
+				}
+			}
+		})
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"onepipe/internal/experiments"
 	"onepipe/internal/netsim"
 	"onepipe/internal/sim"
+	"onepipe/internal/stats"
 	"onepipe/internal/topology"
 	"onepipe/internal/wire"
 )
@@ -40,14 +41,20 @@ type benchBaseline struct {
 // `make bench-json`, gated by CI's bench-smoke job (engine events/sec must
 // stay within 10% of the committed figure).
 type benchReport struct {
-	Generated          string                 `json:"generated"`
-	GoVersion          string                 `json:"go_version"`
-	GOMAXPROCS         int                    `json:"gomaxprocs"`
-	EngineEventsPerSec float64                `json:"engine_events_per_sec"`
-	E2EMsgsPerSec      float64                `json:"e2e_msgs_per_sec"`
-	QuickSuiteWallS    float64                `json:"quick_suite_wall_s,omitempty"`
-	Benchmarks         map[string]benchResult `json:"benchmarks"`
-	Baseline           *benchBaseline         `json:"baseline,omitempty"`
+	Generated          string  `json:"generated"`
+	GoVersion          string  `json:"go_version"`
+	GOMAXPROCS         int     `json:"gomaxprocs"`
+	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
+	E2EMsgsPerSec      float64 `json:"e2e_msgs_per_sec"`
+	// E2EUnbatchedMsgsPerSec is the same workload with frame coalescing
+	// and the delivery fast path off — the pre-batching wire behavior,
+	// kept for the batching speedup comparison.
+	E2EUnbatchedMsgsPerSec float64                `json:"e2e_unbatched_msgs_per_sec,omitempty"`
+	SendOccupancy          *occupancySummary      `json:"send_frame_occupancy,omitempty"`
+	RecvOccupancy          *occupancySummary      `json:"recv_batch_occupancy,omitempty"`
+	QuickSuiteWallS        float64                `json:"quick_suite_wall_s,omitempty"`
+	Benchmarks             map[string]benchResult `json:"benchmarks"`
+	Baseline               *benchBaseline         `json:"baseline,omitempty"`
 }
 
 func toResult(r testing.BenchmarkResult) benchResult {
@@ -139,33 +146,78 @@ func benchSendPath() testing.BenchmarkResult {
 	})
 }
 
+// occupancySummary is the shape of one batch-occupancy histogram in
+// BENCH_core.json: how many messages shared a unit (wire frame on the send
+// side, delivery batch on the receive side).
+type occupancySummary struct {
+	Count uint64  `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+func summarize(h *stats.Histogram) occupancySummary {
+	if h.N() == 0 {
+		return occupancySummary{}
+	}
+	return occupancySummary{
+		Count: h.N(),
+		Mean:  h.Mean(),
+		P50:   h.Percentile(50),
+		P90:   h.Percentile(90),
+		P99:   h.Percentile(99),
+		Max:   h.Max(),
+	}
+}
+
 // benchE2E measures end-to-end ordered deliveries per wall-clock second on
 // the public API: 32 processes each scattering 50 best-effort messages on
-// the paper's testbed topology.
-func benchE2E() float64 {
+// the paper's testbed topology. batched selects the adaptive-batching
+// defaults plus the OnDeliverBatch fast path; unbatched restores the
+// one-packet-per-message wire behavior through the per-delivery callback.
+// The returned histograms aggregate send-frame and delivery-batch occupancy
+// across all runs (nil when unbatched).
+func benchE2E(batched bool) (float64, *stats.Histogram, *stats.Histogram) {
 	const procs, msgsEach = 32, 50
 	delivered := 0
+	sendOcc, recvOcc := &stats.Histogram{}, &stats.Histogram{}
 	start := time.Now()
 	runs := 0
 	for time.Since(start) < 2*time.Second {
 		cl := onepipe.NewCluster(onepipe.Config{
-			Topology:     onepipe.Testbed(),
-			ProcsPerHost: 1,
-			Seed:         int64(runs + 1),
+			Topology:        onepipe.Testbed(),
+			ProcsPerHost:    1,
+			Seed:            int64(runs + 1),
+			DisableBatching: !batched,
 		})
 		for p := 0; p < procs; p++ {
-			cl.Process(p).OnDeliver(func(onepipe.Delivery) { delivered++ })
+			if batched {
+				cl.Process(p).OnDeliverBatch(func(ds []onepipe.Delivery) { delivered += len(ds) })
+			} else {
+				cl.Process(p).OnDeliver(func(onepipe.Delivery) { delivered++ })
+			}
 		}
 		for p := 0; p < procs; p++ {
 			for k := 0; k < msgsEach; k++ {
 				dst := onepipe.ProcID((p + k + 1) % procs)
-				cl.Process(p).UnreliableSend([]onepipe.Message{{Dst: dst, Size: 64}})
+				cl.Process(p).Send([]onepipe.Message{{Dst: dst, Size: 64}})
 			}
 		}
 		cl.Run(500 * onepipe.Microsecond)
+		if batched {
+			s, r := cl.Core().Occupancy()
+			sendOcc.Merge(s)
+			recvOcc.Merge(r)
+		}
 		runs++
 	}
-	return float64(delivered) / time.Since(start).Seconds()
+	rate := float64(delivered) / time.Since(start).Seconds()
+	if !batched {
+		return rate, nil, nil
+	}
+	return rate, sendOcc, recvOcc
 }
 
 // runBenchJSON runs the core benchmark set and writes outPath. When
@@ -196,7 +248,11 @@ func runBenchJSON(outPath string, withSuite bool) error {
 		Baseline: prev.Baseline,
 	}
 	rep.EngineEventsPerSec = 1e9 / rep.Benchmarks["engine_schedule"].NsPerOp
-	rep.E2EMsgsPerSec = benchE2E()
+	e2e, sendOcc, recvOcc := benchE2E(true)
+	rep.E2EMsgsPerSec = e2e
+	so, ro := summarize(sendOcc), summarize(recvOcc)
+	rep.SendOccupancy, rep.RecvOccupancy = &so, &ro
+	rep.E2EUnbatchedMsgsPerSec, _, _ = benchE2E(false)
 
 	if withSuite {
 		start := time.Now()
@@ -227,7 +283,17 @@ func runBenchJSON(outPath string, withSuite bool) error {
 		rep.Benchmarks["wire_decode_into"].NsPerOp, rep.Benchmarks["wire_decode_into"].AllocsPerOp)
 	fmt.Printf("send path   %8.1f ns/op  %d allocs/op\n",
 		rep.Benchmarks["send_path"].NsPerOp, rep.Benchmarks["send_path"].AllocsPerOp)
-	fmt.Printf("e2e         %8.0f msgs/s\n", rep.E2EMsgsPerSec)
+	fmt.Printf("e2e         %8.0f msgs/s  (unbatched %0.f)\n", rep.E2EMsgsPerSec, rep.E2EUnbatchedMsgsPerSec)
+	if rep.SendOccupancy != nil && rep.SendOccupancy.Count > 0 {
+		fmt.Printf("frame occ   mean %.2f p50 %.0f p99 %.0f max %.0f (%d frames)\n",
+			rep.SendOccupancy.Mean, rep.SendOccupancy.P50, rep.SendOccupancy.P99,
+			rep.SendOccupancy.Max, rep.SendOccupancy.Count)
+	}
+	if rep.RecvOccupancy != nil && rep.RecvOccupancy.Count > 0 {
+		fmt.Printf("deliver occ mean %.2f p50 %.0f p99 %.0f max %.0f (%d batches)\n",
+			rep.RecvOccupancy.Mean, rep.RecvOccupancy.P50, rep.RecvOccupancy.P99,
+			rep.RecvOccupancy.Max, rep.RecvOccupancy.Count)
+	}
 	if rep.QuickSuiteWallS > 0 {
 		fmt.Printf("quick suite %8.1f s wall\n", rep.QuickSuiteWallS)
 	}

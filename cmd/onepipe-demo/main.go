@@ -4,6 +4,9 @@
 // loopback with the 48-bit wire format (internal/udpnet). Several
 // goroutines scatter concurrently; the demo then verifies that all
 // receivers delivered the common messages in one consistent total order.
+//
+// Both substrates are driven through the unified onepipe.Fabric API: the
+// demo code is identical for either backend.
 package main
 
 import (
@@ -12,66 +15,40 @@ import (
 	"sync"
 	"time"
 
-	"onepipe/internal/core"
-	"onepipe/internal/livenet"
-	"onepipe/internal/netsim"
-	"onepipe/internal/udpnet"
+	"onepipe"
 )
-
-// fabric abstracts the two live substrates.
-type fabric interface {
-	NumProcs() int
-	OnDeliver(p int, fn func(core.Delivery))
-	Send(p int, msgs []core.Message) error
-	Stop()
-}
-
-type liveFabric struct{ n *livenet.Net }
-
-func (f liveFabric) NumProcs() int { return f.n.NumProcs() }
-func (f liveFabric) OnDeliver(p int, fn func(core.Delivery)) {
-	f.n.Do(func() { f.n.Proc(p).OnDeliver = fn })
-}
-func (f liveFabric) Send(p int, msgs []core.Message) error { return f.n.Send(p, false, msgs) }
-func (f liveFabric) Stop()                                 { f.n.Stop() }
-
-type udpFabric struct{ c *udpnet.Cluster }
-
-func (f udpFabric) NumProcs() int                           { return f.c.NumProcs() }
-func (f udpFabric) OnDeliver(p int, fn func(core.Delivery)) { f.c.Proc(p).OnDeliver(fn) }
-func (f udpFabric) Send(p int, msgs []core.Message) error   { return f.c.Proc(p).Send(msgs) }
-func (f udpFabric) Stop()                                   { f.c.Close() }
 
 func main() {
 	useUDP := flag.Bool("udp", false, "run over real UDP sockets (loopback) instead of in-process channels")
 	flag.Parse()
 
 	const hosts = 4
-	var net fabric
+	cfg := onepipe.LiveConfig{Hosts: hosts, ProcsPerHost: 1}
+	var net onepipe.Fabric
 	if *useUDP {
-		c, err := udpnet.Start(udpnet.DefaultConfig(hosts, 1))
+		c, err := onepipe.NewUDPCluster(cfg)
 		if err != nil {
 			panic(err)
 		}
-		net = udpFabric{c: c}
+		net = c
 		fmt.Printf("UDP 1Pipe fabric: %d host sockets + 1 switch socket on loopback, %v beacons\n\n", hosts, time.Millisecond)
 	} else {
-		net = liveFabric{n: livenet.New(livenet.DefaultConfig(hosts, 1))}
+		net = onepipe.NewLiveCluster(cfg)
 		fmt.Printf("live 1Pipe fabric: %d hosts, beacons every %v of wall time\n\n", hosts, time.Millisecond)
 	}
-	defer net.Stop()
-	n := net.NumProcs()
+	defer net.Close()
+	n := net.NumProcesses()
 
 	type rec struct {
 		ts   int64
-		src  netsim.ProcID
+		src  onepipe.ProcID
 		data any
 	}
 	var mu sync.Mutex
 	logs := make([][]rec, n)
 	for i := 0; i < n; i++ {
 		i := i
-		net.OnDeliver(i, func(d core.Delivery) {
+		net.Process(i).OnDeliver(func(d onepipe.Delivery) {
 			data := d.Data
 			if b, ok := data.([]byte); ok {
 				data = string(b)
@@ -90,15 +67,15 @@ func main() {
 		go func() {
 			defer wg.Done()
 			for k := 0; k < 10; k++ {
-				var msgs []core.Message
+				var msgs []onepipe.Message
 				for q := 0; q < n; q++ {
 					if q != p {
-						msgs = append(msgs, core.Message{
-							Dst: netsim.ProcID(q), Data: []byte(fmt.Sprintf("p%d/m%d", p, k)), Size: 64,
+						msgs = append(msgs, onepipe.Message{
+							Dst: onepipe.ProcID(q), Data: []byte(fmt.Sprintf("p%d/m%d", p, k)), Size: 64,
 						})
 					}
 				}
-				net.Send(p, msgs)
+				net.Process(p).Send(msgs)
 				time.Sleep(3 * time.Millisecond)
 			}
 		}()

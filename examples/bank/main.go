@@ -37,10 +37,10 @@ func main() {
 	cluster.Run(50 * onepipe.Microsecond)
 
 	transfer := func(from, to string, amount int) {
-		err := cluster.Process(0).ReliableSend([]onepipe.Message{
+		err := cluster.Process(0).Send([]onepipe.Message{
 			{Dst: onepipe.ProcID(owner[from]), Data: op{from, -amount}, Size: 32},
 			{Dst: onepipe.ProcID(owner[to]), Data: op{to, +amount}, Size: 32},
-		})
+		}, onepipe.Reliable())
 		if err != nil {
 			panic(err)
 		}

@@ -48,13 +48,13 @@ func main() {
 	cluster.Run(50 * onepipe.Microsecond)
 
 	// Transaction 1 (from process 0): write two keys atomically.
-	cluster.Process(0).ReliableSend([]onepipe.Message{
+	cluster.Process(0).Send([]onepipe.Message{
 		{Dst: shardOf("user:42"), Data: kvOp{1, true, "user:42", "ada"}, Size: 64},
 		{Dst: shardOf("count"), Data: kvOp{1, true, "count", "1"}, Size: 64},
-	})
+	}, onepipe.Reliable())
 	// Transaction 2 (from process 5, concurrently): read both keys. Total
 	// order guarantees it sees either none or both of txn 1's writes.
-	cluster.Process(5).UnreliableSend([]onepipe.Message{
+	cluster.Process(5).Send([]onepipe.Message{
 		{Dst: shardOf("user:42"), Data: kvOp{2, false, "user:42", ""}, Size: 32},
 		{Dst: shardOf("count"), Data: kvOp{2, false, "count", ""}, Size: 32},
 	})

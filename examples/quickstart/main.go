@@ -39,7 +39,7 @@ func main() {
 					Size: 64,
 				})
 			}
-			if err := cluster.Process(sender).UnreliableSend(msgs); err != nil {
+			if err := cluster.Process(sender).Send(msgs); err != nil {
 				panic(err)
 			}
 		}

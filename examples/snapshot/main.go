@@ -53,7 +53,7 @@ func main() {
 			from := rng.Intn(n)
 			to := (from + 1 + rng.Intn(n-1)) % n
 			amt := 1 + rng.Intn(20)
-			cluster.Process(from).UnreliableSend([]onepipe.Message{
+			cluster.Process(from).Send([]onepipe.Message{
 				{Dst: onepipe.ProcID(from), Data: transfer{-amt}, Size: 16},
 				{Dst: onepipe.ProcID(to), Data: transfer{+amt}, Size: 16},
 			})
@@ -69,7 +69,7 @@ func main() {
 			for q := 0; q < n; q++ {
 				msgs = append(msgs, onepipe.Message{Dst: onepipe.ProcID(q), Data: marker{id}, Size: 8})
 			}
-			cluster.Process(0).UnreliableSend(msgs)
+			cluster.Process(0).Send(msgs)
 		}
 		cluster.Run(20 * onepipe.Microsecond)
 	}

@@ -28,14 +28,27 @@ func CaptureWirePackets(seed int64, perKind int) [][]byte {
 		{At: 800 * sim.Microsecond, Kind: FaultHostCrash, Host: p.Topo.NumHosts() - 1},
 		{At: 1200 * sim.Microsecond, Kind: FaultLossBurst, Dur: 500 * sim.Microsecond, Rate: 0.2},
 	}
+	// Widen the coalescing window well past the send interval so same-conn
+	// scatterings merge and the corpus contains genuine multi-message frames.
+	p.BatchWindow = 20 * sim.Microsecond
 
 	counts := make(map[netsim.Kind]int)
+	frames := 0
 	var out [][]byte
 	runWith(p, func(pkt *netsim.Packet) {
-		if counts[pkt.Kind] >= perKind {
-			return
+		// Frame-flagged data packets get their own quota: they are rarer
+		// than plain data packets and would otherwise be crowded out.
+		if pkt.Frame {
+			if frames >= perKind {
+				return
+			}
+			frames++
+		} else {
+			if counts[pkt.Kind] >= perKind {
+				return
+			}
+			counts[pkt.Kind]++
 		}
-		counts[pkt.Kind]++
 		out = append(out, wire.Encode(pkt, nil))
 	})
 	return out

@@ -15,8 +15,12 @@ func TestGoldenSeedDigests(t *testing.T) {
 		digest     string
 		deliveries int
 	}{
-		{42, "cdcbe7c10bb58a9069bcb920a912ee35ce64d3f1131efedd9294462d8a3167e4", 11802},
-		{20260805, "3da61f0a1878f7f996eb8598c88fe20deef324a570dd1a14a909ce075793a60f", 24993},
+		// Regenerated when send-side frame coalescing landed: frames share
+		// fate under loss (one drop fails every member), so a handful of
+		// deliveries under fault schedules move or disappear. Confirmed
+		// bit-identical across repeated runs before pinning.
+		{42, "7dd84620e944b40119c7e37aa8f2e1318ebb641d7e2181dd4b4300c70afd460e", 11793},
+		{20260805, "37bc8b4a49a5ca408fbff46279c5d74c42661018f736ad339a3ee85f8ba335f2", 24980},
 	}
 	for _, g := range golden {
 		r := Run(NewPlan(g.seed))

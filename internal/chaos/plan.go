@@ -125,6 +125,12 @@ type Plan struct {
 	Workload     Workload
 	Faults       []Fault
 
+	// BatchWindow, when nonzero, overrides the endpoints' sender-side
+	// coalescing window (0 keeps the core default). Seed derivation never
+	// sets it, so existing golden digests are unaffected; the wire-capture
+	// harness widens it to harvest multi-message frames.
+	BatchWindow sim.Time
+
 	// NonuniformPipeline arms the DESIGN deviation #8 regression knob in
 	// netsim — used only by the harness's own detection self-test.
 	NonuniformPipeline bool
@@ -341,6 +347,9 @@ func (p *Plan) CoreConfig() core.Config {
 	cfg := core.DefaultConfig()
 	cfg.Mode = p.Mode
 	cfg.MaxRetx = p.MaxRetx
+	if p.BatchWindow != 0 {
+		cfg.BatchWindow = p.BatchWindow
+	}
 	return cfg
 }
 

@@ -12,6 +12,10 @@ func TestAckBatchingReducesAckPackets(t *testing.T) {
 		cl := smallNet(t, 1, nil)
 		for i := range cl.Hosts {
 			cl.Hosts[i].Cfg.AckFlush = flush
+			// Frame coalescing would collapse the 200 sends into a handful
+			// of multi-message frames (one ACK each), hiding the ACK-side
+			// batching this test isolates.
+			cl.Hosts[i].Cfg.DisableBatching = true
 		}
 		cl.Procs[1].OnDeliver = func(Delivery) {}
 		eng := cl.Net.Eng

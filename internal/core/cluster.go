@@ -4,6 +4,7 @@ import (
 	"onepipe/internal/netsim"
 	"onepipe/internal/obs"
 	"onepipe/internal/sim"
+	"onepipe/internal/stats"
 )
 
 // simWire adapts one simulated host's network attachment to the Wire
@@ -82,9 +83,26 @@ func (cl *Cluster) TotalStats() HostStats {
 		t.Beacons += h.Stats.Beacons
 		t.Recalled += h.Stats.Recalled
 		t.StuckReports += h.Stats.StuckReports
+		t.BeaconsSuppressed += h.Stats.BeaconsSuppressed
+		t.FramesSent += h.Stats.FramesSent
+		t.FrameMsgs += h.Stats.FrameMsgs
+		t.Backpressure += h.Stats.Backpressure
+		t.DeliverBatches += h.Stats.DeliverBatches
 		if h.Stats.MaxBufferBytes > t.MaxBufferBytes {
 			t.MaxBufferBytes = h.Stats.MaxBufferBytes
 		}
 	}
 	return t
+}
+
+// Occupancy merges the per-host batch-occupancy histograms: send-side frame
+// sizes (messages per emitted frame, batched traffic only) and receive-side
+// delivery-batch sizes. The returned histograms are fresh copies.
+func (cl *Cluster) Occupancy() (send, recv *stats.Histogram) {
+	send, recv = &stats.Histogram{}, &stats.Histogram{}
+	for _, h := range cl.Hosts {
+		send.Merge(h.SendOccupancy())
+		recv.Merge(h.RecvOccupancy())
+	}
+	return send, recv
 }

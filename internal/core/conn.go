@@ -29,6 +29,13 @@ type outPkt struct {
 	size     int
 	scat     *scattering
 	retx     int
+	// fnext links the members of a multi-message frame behind the head:
+	// a frame occupies one window slot, one unacked entry (the head's PSN)
+	// and one ACK, and member PSNs are consecutive from the head's. Chains
+	// are immutable once emitted; aborted members stay linked (their PSN is
+	// part of the frame's span) but are skipped when the wire packet is
+	// rebuilt.
+	fnext *outPkt
 }
 
 // conn is the send-side state for one (source process, destination process)
@@ -66,6 +73,15 @@ type conn struct {
 	ackECN    int
 	windowEnd [2]uint32
 	rto       *timer
+	// doorbell fires Config.BatchWindow after a partial frame started
+	// waiting for more same-destination messages; holding is set while the
+	// queue head is deliberately delayed (the host's barrier floor is
+	// clamped below the held timestamp meanwhile), and flushAll forces
+	// every queued batchable fragment out once the doorbell has rung, even
+	// if emission is interleaved with window waits.
+	doorbell *timer
+	holding  bool
+	flushAll bool
 }
 
 func (h *Host) getConn(src, dst netsim.ProcID) *conn {
@@ -81,6 +97,7 @@ func (h *Host) getConn(src, dst netsim.ProcID) *conn {
 		c.unacked[0] = make(map[uint32]*outPkt)
 		c.unacked[1] = make(map[uint32]*outPkt)
 		c.rto = newTimer(h.wire, c.onRTO)
+		c.doorbell = newTimer(h.wire, c.onDoorbell)
 		h.conns[k] = c
 	}
 	return c
@@ -114,7 +131,9 @@ func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
 		if reliable {
 			if op, stuck := c.stuckPkts[psn]; stuck {
 				delete(c.stuckPkts, psn)
-				c.host.onPacketAcked(op)
+				for m := op; m != nil; m = m.fnext {
+					c.host.onPacketAcked(m)
+				}
 				c.host.grantCredits()
 			}
 		}
@@ -129,32 +148,160 @@ func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
 	if len(c.unacked[1]) == 0 {
 		c.rto.stop()
 	}
-	c.host.onPacketAcked(op)
+	// One ACK completes the whole frame: every chained member was carried
+	// (or spanned) by the acknowledged packet.
+	for m := op; m != nil; m = m.fnext {
+		c.host.onPacketAcked(m)
+	}
 	c.pump()
 	c.host.grantCredits()
 }
 
-// pump transmits queued fragments while window space is available.
-func (c *conn) pump() {
+// pump transmits queued fragments while window space is available,
+// coalescing runs of adjacent batchable fragments into multi-message
+// frames (§6.1 send batching).
+func (c *conn) pump() { c.emitQueued(false) }
+
+// maxFrameEntries bounds a frame's member count independently of
+// Config.BatchBytes so the 16-bit span/offset fields cannot overflow.
+const maxFrameEntries = 512
+
+// emitQueued drains the send queue within the window. A run of batchable
+// same-class fragments at the head either fills a frame (BatchBytes) and
+// goes out immediately, or — unless force is set — stays queued with the
+// doorbell timer armed, waiting up to the batch window for more
+// same-destination traffic to coalesce with.
+func (c *conn) emitQueued(force bool) {
+	if c.flushAll {
+		force = true
+	}
+	held := false
 	for c.inflight < c.window() && len(c.sendQ) > 0 {
 		op := c.sendQ[0]
-		c.sendQ = c.sendQ[1:]
 		if op.scat.aborted {
+			c.sendQ = c.sendQ[1:]
 			continue
 		}
-		k := cls(op.scat.reliable)
-		c.unacked[k][op.psn] = op
-		if k == 1 {
-			c.relOrder = append(c.relOrder, op.psn)
+		if !op.scat.batch {
+			c.sendQ = c.sendQ[1:]
+			c.emitRun(op)
+			continue
 		}
-		c.inflight++
-		if c.host.Obs.On() {
-			c.host.Obs.Rec(obs.SpanXmitWait, c.host.wire.Now()-op.scat.ts)
+		n, full := c.collectRun()
+		if !full && !force {
+			held = true
+			break
 		}
-		c.host.emit(c.buildPacket(op, op.psn))
-		if op.scat.reliable && !c.rto.armed {
-			c.rto.reset(c.host.Cfg.RTO)
+		run := c.sendQ[:n]
+		for i := 0; i < n-1; i++ {
+			run[i].fnext = run[i+1]
 		}
+		c.sendQ = c.sendQ[n:]
+		c.emitRun(op)
+	}
+	if len(c.sendQ) == 0 {
+		c.flushAll = false
+	}
+	c.updateHold(held)
+}
+
+// collectRun measures the batchable run at the head of the send queue:
+// how many fragments coalesce into the next frame, and whether the frame
+// is full — by bytes, by entry count, or because a non-coalescible
+// fragment follows it (waiting longer could not grow it).
+func (c *conn) collectRun() (n int, full bool) {
+	head := c.sendQ[0]
+	k := cls(head.scat.reliable)
+	budget := c.host.Cfg.BatchBytes
+	bytes := head.size + netsim.FrameEntryBytes
+	n = 1
+	for n < len(c.sendQ) {
+		op := c.sendQ[n]
+		if !op.scat.batch || cls(op.scat.reliable) != k {
+			return n, true
+		}
+		if n >= maxFrameEntries {
+			return n, true
+		}
+		if op.scat.aborted {
+			// Rides along inside the frame's PSN span without payload.
+			n++
+			continue
+		}
+		nb := bytes + op.size + netsim.FrameEntryBytes
+		if nb > budget {
+			return n, true
+		}
+		bytes = nb
+		n++
+	}
+	return n, bytes >= budget || n >= maxFrameEntries
+}
+
+// emitRun transmits one window unit: a single fragment or a frame chain
+// headed by head (fnext-linked). The head's PSN indexes the unacked map;
+// the whole chain completes on its single ACK.
+func (c *conn) emitRun(head *outPkt) {
+	h := c.host
+	k := cls(head.scat.reliable)
+	c.unacked[k][head.psn] = head
+	if k == 1 {
+		c.relOrder = append(c.relOrder, head.psn)
+	}
+	c.inflight++
+	if h.Obs.On() {
+		now := h.wire.Now()
+		for m := head; m != nil; m = m.fnext {
+			if !m.scat.aborted {
+				h.Obs.Rec(obs.SpanXmitWait, now-m.scat.ts)
+			}
+		}
+	}
+	if head.scat.batch {
+		live := 0
+		for m := head; m != nil; m = m.fnext {
+			if !m.scat.aborted {
+				live++
+			}
+		}
+		h.sendOcc.Add(float64(live))
+		if live > 1 {
+			h.Stats.FramesSent++
+			h.Stats.FrameMsgs += uint64(live)
+		}
+	}
+	h.emit(c.buildUnit(head))
+	if head.scat.reliable && !c.rto.armed {
+		c.rto.reset(h.Cfg.RTO)
+	}
+}
+
+// onDoorbell flushes a held partial frame when the batch window expires.
+// flushAll stays sticky until the queue drains so fragments blocked on
+// window space go out as soon as slots free, instead of re-waiting.
+func (c *conn) onDoorbell() {
+	if c.host.stopped {
+		return
+	}
+	c.flushAll = true
+	c.emitQueued(true)
+}
+
+// updateHold reconciles the doorbell timer and the host's held-timestamp
+// floor with whether the queue head is (still) deliberately delayed.
+func (c *conn) updateHold(held bool) {
+	h := c.host
+	if held {
+		head := c.sendQ[0]
+		if !c.holding {
+			c.holding = true
+			c.doorbell.reset(head.scat.batchWin)
+		}
+		h.holdSet(c, head.scat.ts)
+	} else if c.holding {
+		c.holding = false
+		c.doorbell.stop()
+		h.holdClear(c)
 	}
 }
 
@@ -210,20 +357,33 @@ func (c *conn) onRTO() {
 			// (dst, ts)), free the window slot, and park the packet where
 			// Controller Forwarding can still find it. Leaving it in
 			// unacked would charge its inflight slot forever — wedging the
-			// window — and re-fire OnStuck on every later RTO.
+			// window — and re-fire OnStuck on every later RTO. A frame
+			// parks as a whole chain and stalls every live member.
 			delete(c.unacked[1], psn)
 			c.inflight--
 			if c.stuckPkts == nil {
 				c.stuckPkts = make(map[uint32]*outPkt)
 			}
 			c.stuckPkts[psn] = op
-			h.reportStuck(c.key.src, c.key.dst, op.scat.ts)
+			for m := op; m != nil; m = m.fnext {
+				if !m.scat.aborted {
+					h.reportStuck(c.key.src, c.key.dst, m.scat.ts)
+				}
+			}
+			exhausted = true
+			continue
+		}
+		pkt := c.buildUnit(op)
+		if pkt == nil {
+			// Every frame member was aborted since the last transmission.
+			delete(c.unacked[1], psn)
+			c.inflight--
 			exhausted = true
 			continue
 		}
 		kept = append(kept, psn)
 		h.Stats.PktsRetx++
-		h.emit(c.buildPacket(op, psn))
+		h.emit(pkt)
 		rearm = true
 	}
 	c.relOrder = kept
@@ -274,6 +434,50 @@ func (c *conn) buildPacket(op *outPkt, psn uint32) *netsim.Packet {
 	return pkt
 }
 
+// buildUnit materializes the wire packet for a window unit: buildPacket
+// for a single fragment, or a multi-message frame for a chain. Each
+// transmission builds a fresh frame so aborted members drop out of the
+// payload while their PSNs stay covered by the span. Returns nil when no
+// live member remains.
+func (c *conn) buildUnit(head *outPkt) *netsim.Packet {
+	if head.fnext == nil {
+		return c.buildPacket(head, head.psn)
+	}
+	f := netsim.GetFrame()
+	last := head
+	size := 0
+	for m := head; m != nil; m = m.fnext {
+		last = m
+		if m.scat.aborted {
+			continue
+		}
+		f.Entries = append(f.Entries, netsim.FrameEntry{
+			TS:     m.scat.ts,
+			PSNOff: uint16(m.psn - head.psn),
+			Size:   m.size,
+			Data:   m.scat.msgs[m.msgIdx].Data,
+		})
+		size += m.size + netsim.FrameEntryBytes
+	}
+	if len(f.Entries) == 0 {
+		netsim.PutFrame(f)
+		return nil
+	}
+	f.Span = uint16(last.psn - head.psn + 1)
+	pkt := netsim.GetPacket()
+	pkt.Kind = netsim.KindData
+	pkt.Src = c.key.src
+	pkt.Dst = c.key.dst
+	pkt.MsgTS = f.Entries[0].TS
+	pkt.Reliable = head.scat.reliable
+	pkt.PSN = head.psn
+	pkt.EndOfMsg = true
+	pkt.Frame = true
+	pkt.Payload = f
+	pkt.Size = size + netsim.HeaderBytes
+	return pkt
+}
+
 // dropInflight abandons an un-ACKed packet (destination failed, scattering
 // aborted, or best-effort timeout), freeing its window slot.
 func (c *conn) dropInflight(k int, psn uint32) {
@@ -309,11 +513,13 @@ func (c *conn) relRemoved() {
 
 // dropScattering abandons all of s's un-ACKed packets on this conn (its
 // queued fragments are skipped by the pump via s.aborted) and refills the
-// freed window from the send queue.
+// freed window from the send queue. A frame is dropped only once every
+// chained member's scattering has aborted; until then it stays in flight
+// carrying the surviving members.
 func (c *conn) dropScattering(s *scattering) {
 	for k := 0; k < 2; k++ {
 		for psn, op := range c.unacked[k] {
-			if op.scat == s {
+			if chainDead(op, s) {
 				c.dropInflight(k, psn)
 			}
 		}
@@ -321,11 +527,26 @@ func (c *conn) dropScattering(s *scattering) {
 	// Parked (MaxRetx-exhausted) packets of an aborted scattering will
 	// never be wanted again, not even by Controller Forwarding.
 	for psn, op := range c.stuckPkts {
-		if op.scat == s {
+		if chainDead(op, s) {
 			delete(c.stuckPkts, psn)
 		}
 	}
 	c.pump()
+}
+
+// chainDead reports whether the unit headed by op involves s and no
+// longer carries any live member (s is treated as aborted: callers drop
+// it before or while marking it so).
+func chainDead(op *outPkt, s *scattering) bool {
+	touches := false
+	for m := op; m != nil; m = m.fnext {
+		if m.scat == s {
+			touches = true
+		} else if !m.scat.aborted {
+			return false
+		}
+	}
+	return touches
 }
 
 // scattering is a group of messages sharing one timestamp (§2.1).
@@ -337,6 +558,12 @@ type scattering struct {
 	launched bool
 	aborted  bool
 	done     bool
+	// batch marks the scattering's fragments as coalescible into
+	// multi-message frames (every message single-fragment, batching
+	// enabled); batchWin is the doorbell window its fragments may wait for
+	// company.
+	batch    bool
+	batchWin sim.Time
 	// submitAt is the Send call time, recorded only while tracing; the
 	// submit → launch gap is the credit wait (obs.SpanCreditWait).
 	submitAt sim.Time

@@ -7,6 +7,7 @@ import (
 	"onepipe/internal/netsim"
 	"onepipe/internal/obs"
 	"onepipe/internal/sim"
+	"onepipe/internal/stats"
 )
 
 // ErrSendBufferFull is returned when the credit wait queue is at capacity;
@@ -17,25 +18,56 @@ var ErrSendBufferFull = errors.New("onepipe: send buffer full")
 // ErrNoMessages is returned for an empty scattering.
 var ErrNoMessages = errors.New("onepipe: empty scattering")
 
+// ErrClosed is returned for sends on a stopped host or a closed fabric.
+var ErrClosed = errors.New("onepipe: closed")
+
+// ErrBackpressure is the sentinel matched by errors.Is for
+// *BackpressureError returns.
+var ErrBackpressure = errors.New("onepipe: backpressure")
+
+// BackpressureError is returned when a destination's doorbell/send queue
+// is at Config.SendQueueCap: instead of growing the queue without bound
+// the send is refused, carrying the earliest time the queue is expected
+// to have drained enough to retry.
+type BackpressureError struct {
+	// Dst is the congested destination.
+	Dst netsim.ProcID
+	// RetryAt is the earliest-drain estimate: the congested connection's
+	// pending doorbell flush if one is armed, otherwise one RTO from now.
+	RetryAt sim.Time
+}
+
+func (e *BackpressureError) Error() string {
+	return fmt.Sprintf("onepipe: backpressure toward %d, retry at %v", e.Dst, e.RetryAt)
+}
+
+// Is makes errors.Is(err, ErrBackpressure) match.
+func (e *BackpressureError) Is(target error) bool { return target == ErrBackpressure }
+
 // sendBufCap bounds the number of credit-blocked scatterings per host.
 const sendBufCap = 65536
 
 // HostStats counts per-host protocol events.
 type HostStats struct {
-	MsgsSent       uint64
-	MsgsDelivered  uint64
-	MsgsFailed     uint64
-	PktsSent       uint64
-	PktsRetx       uint64
-	Naks           uint64
-	DupPkts        uint64
-	Commits        uint64
-	Beacons        uint64
-	Recalled       uint64
-	StuckReports   uint64 // MaxRetx exhaustions escalated, deduplicated per (dst, ts)
-	BufferedBytes  int64  // current reorder-buffer occupancy
-	MaxBufferBytes int64
-	BufferedMsgs   int64
+	MsgsSent          uint64
+	MsgsDelivered     uint64
+	MsgsFailed        uint64
+	PktsSent          uint64
+	PktsRetx          uint64
+	Naks              uint64
+	DupPkts           uint64
+	Commits           uint64
+	Beacons           uint64
+	BeaconsSuppressed uint64 // beacon ticks elided because data carried the floor
+	Recalled          uint64
+	StuckReports      uint64 // MaxRetx exhaustions escalated, deduplicated per (dst, ts)
+	FramesSent        uint64 // multi-message frames emitted (>= 2 live members)
+	FrameMsgs         uint64 // messages carried inside multi-message frames
+	Backpressure      uint64 // sends refused with ErrBackpressure
+	DeliverBatches    uint64 // OnDeliverBatch invocations
+	BufferedBytes     int64  // current reorder-buffer occupancy
+	MaxBufferBytes    int64
+	BufferedMsgs      int64
 }
 
 // Host is the lib1pipe runtime for one machine (§6.1). All processes on
@@ -59,6 +91,16 @@ type Host struct {
 	// Send side.
 	conns map[connKey]*conn
 	waitQ []*scattering // credit-blocked, FIFO (held credits, §6.1)
+	// holding maps connections with a doorbell-held partial frame to the
+	// held head's timestamp; heldFloor caches the minimum so tsFloor can
+	// clamp the advertised barrier below every held (already timestamped
+	// but not yet emitted) message in O(1).
+	holding   map[*conn]sim.Time
+	heldFloor sim.Time
+	// sendOcc / recvOcc record batch occupancy: messages per emitted
+	// batchable unit and per delivery batch.
+	sendOcc *stats.Histogram
+	recvOcc *stats.Histogram
 	// outstanding holds launched reliable scatterings in ascending ts
 	// order until fully ACKed or aborted; its head bounds the commit
 	// floor (§5.1 Commit phase).
@@ -70,6 +112,11 @@ type Host struct {
 	beQ, relQ   deliveryHeap
 	deliveredBE sim.Time
 	deliveredC  sim.Time
+	// batchQ accumulates a contiguous run of below-barrier deliveries for
+	// one process during drain; flushed through OnDeliverBatch. The slice
+	// is reused across batches — receivers must not retain it.
+	batchQ   []Delivery
+	batchDst netsim.ProcID
 	// Failure state.
 	failedPeers map[netsim.ProcID]sim.Time // proc -> failure timestamp
 	recallTomb  map[recallKey]bool
@@ -123,8 +170,49 @@ func NewHost(id int, wire Wire, cfg Config) *Host {
 		recalls:       make(map[recallKey]*recallState),
 		ackPending:    make(map[ackKey]*ackPend),
 		stuckReported: make(map[recallKey]bool),
+		sendOcc:       new(stats.Histogram),
+		recvOcc:       new(stats.Histogram),
 	}
 	return h
+}
+
+// SendOccupancy is the distribution of messages per emitted batchable
+// unit (1 = a message that found no company within its batch window).
+func (h *Host) SendOccupancy() *stats.Histogram { return h.sendOcc }
+
+// RecvOccupancy is the distribution of deliveries per OnDeliverBatch
+// invocation.
+func (h *Host) RecvOccupancy() *stats.Histogram { return h.recvOcc }
+
+// holdSet records that c is doorbell-holding a partial frame whose oldest
+// member carries ts.
+func (h *Host) holdSet(c *conn, ts sim.Time) {
+	if h.holding == nil {
+		h.holding = make(map[*conn]sim.Time)
+	}
+	if old, ok := h.holding[c]; ok && old == ts {
+		return
+	}
+	h.holding[c] = ts
+	h.recomputeHeldFloor()
+}
+
+// holdClear removes c from the held set.
+func (h *Host) holdClear(c *conn) {
+	if _, ok := h.holding[c]; !ok {
+		return
+	}
+	delete(h.holding, c)
+	h.recomputeHeldFloor()
+}
+
+func (h *Host) recomputeHeldFloor() {
+	h.heldFloor = 0
+	for _, ts := range h.holding {
+		if h.heldFloor == 0 || ts < h.heldFloor {
+			h.heldFloor = ts
+		}
+	}
 }
 
 // Start arms the host's uplink beacon generator (§4.2).
@@ -146,6 +234,9 @@ func (h *Host) Stop() {
 		if c.rto != nil {
 			c.rto.stop()
 		}
+		if c.doorbell != nil {
+			c.doorbell.stop()
+		}
 	}
 	for _, r := range h.recalls {
 		r.timer.stop()
@@ -156,15 +247,22 @@ func (h *Host) Stop() {
 }
 
 // beaconTick emits the host's periodic uplink beacon (§6.1: the polling
-// thread generates periodic beacon packets). Beacons are unconditional:
-// data packets between ticks carry the same floors, but the strict
-// "deliver below barrier" rule needs a guaranteed emission whose floor
-// exceeds the last data timestamp within one interval.
+// thread generates periodic beacon packets). When the uplink carried any
+// emission within the last interval, that emission already advertised a
+// floor at least as fresh as this tick would, so the standalone beacon is
+// suppressed (beacon piggybacking); the strict "deliver below barrier"
+// rule stays intact because an idle interval always ends with a real
+// beacon whose floor exceeds the last data timestamp.
 func (h *Host) beaconTick() {
 	if h.stopped {
 		return
 	}
-	h.sendBeacon()
+	if !h.Cfg.DisablePiggyback && h.lastUplinkSend > 0 &&
+		h.wire.Now()-h.lastUplinkSend < h.Cfg.BeaconInterval {
+		h.Stats.BeaconsSuppressed++
+	} else {
+		h.sendBeacon()
+	}
 	h.beaconTimer.reset(h.Cfg.BeaconInterval)
 }
 
@@ -185,13 +283,20 @@ func (h *Host) emit(pkt *netsim.Packet) {
 }
 
 // tsFloor is the host's best-effort barrier: no future message from this
-// host will carry a timestamp below it.
+// host will carry a timestamp below it. Doorbell-held messages are
+// already timestamped but not yet on the wire, so while any connection
+// holds a partial frame the floor is clamped below the oldest held
+// timestamp — otherwise a beacon during the hold would break the barrier
+// promise and the held messages would arrive "late" and be dropped.
 func (h *Host) tsFloor() sim.Time {
-	now := h.wire.Now()
-	if h.lastTS > now {
-		return h.lastTS
+	t := h.wire.Now()
+	if h.lastTS > t {
+		t = h.lastTS
 	}
-	return now
+	if h.heldFloor > 0 && h.heldFloor-1 < t {
+		t = h.heldFloor - 1
+	}
+	return t
 }
 
 // commitFloor is the largest T such that every reliable message from this
@@ -235,6 +340,11 @@ type Proc struct {
 
 	// OnDeliver receives messages in (timestamp, sender) total order.
 	OnDeliver func(Delivery)
+	// OnDeliverBatch, if set, takes precedence over OnDeliver and receives
+	// contiguous below-barrier runs in one call — the delivery fast path.
+	// The slice is reused by the runtime after the callback returns;
+	// receivers that keep deliveries must copy them out.
+	OnDeliverBatch func([]Delivery)
 	// OnSendFail is the send-failure callback of Table 1.
 	OnSendFail func(SendFailure)
 	// OnProcFail is the process-failure callback of Table 1.
@@ -278,12 +388,22 @@ func (p *Proc) Timestamp() sim.Time { return p.host.wire.Now() }
 // Send issues a best-effort scattering (onepipe_unreliable_send): all
 // messages share one timestamp; lost messages are reported through
 // OnSendFail, never retransmitted.
-func (p *Proc) Send(msgs []Message) error { return p.host.send(p, msgs, false) }
+func (p *Proc) Send(msgs []Message) error {
+	return p.host.send(p, msgs, SendOptions{})
+}
 
 // SendReliable issues a reliable scattering (onepipe_reliable_send):
 // delivery is guaranteed via 2PC unless a participant fails, in which case
 // the whole scattering is recalled (restricted failure atomicity).
-func (p *Proc) SendReliable(msgs []Message) error { return p.host.send(p, msgs, true) }
+func (p *Proc) SendReliable(msgs []Message) error {
+	return p.host.send(p, msgs, SendOptions{Reliable: true})
+}
+
+// SendOpts issues a scattering with explicit options — the unified send
+// entry point behind the public API's Send(msgs, opts...).
+func (p *Proc) SendOpts(msgs []Message, o SendOptions) error {
+	return p.host.send(p, msgs, o)
+}
 
 // reportStuck escalates a stalled (dst, ts) through OnStuck exactly once:
 // every further exhaustion of the same stall — data retransmissions on a
@@ -301,17 +421,24 @@ func (h *Host) reportStuck(src, dst netsim.ProcID, ts sim.Time) {
 	}
 }
 
-func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
+func (h *Host) send(p *Proc, msgs []Message, o SendOptions) error {
 	if len(msgs) == 0 {
 		return ErrNoMessages
 	}
 	if h.stopped {
-		return fmt.Errorf("onepipe: host %d stopped", h.ID)
+		return fmt.Errorf("onepipe: host %d stopped: %w", h.ID, ErrClosed)
 	}
 	if len(h.waitQ) >= sendBufCap {
 		return ErrSendBufferFull
 	}
-	s := newScattering(p, msgs, reliable, h.Cfg.MTU)
+	s := newScattering(p, msgs, o.Reliable, h.Cfg.MTU)
+	if win := h.batchWindow(o); win > 0 && s.totalPkts == len(s.msgs) &&
+		(o.Reliable || !h.Cfg.DisableBEAck) {
+		// Single-fragment messages with batching on: fragments may
+		// coalesce into multi-message frames on their connections.
+		s.batch = true
+		s.batchWin = win
+	}
 	if h.Obs.On() {
 		s.submitAt = h.wire.Now()
 	}
@@ -321,6 +448,20 @@ func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
 			return fmt.Errorf("onepipe: destination %d failed", s.msgs[i].Dst)
 		}
 	}
+	// Backpressure: refuse to grow a destination queue past SendQueueCap.
+	// Checked before credits are acquired, so a refused send leaves no
+	// state behind.
+	for i := range s.credits {
+		cr := &s.credits[i]
+		if len(cr.conn.sendQ)+cr.needed > h.Cfg.SendQueueCap {
+			h.Stats.Backpressure++
+			retry := h.wire.Now() + h.Cfg.RTO
+			if cr.conn.holding && cr.conn.doorbell.armed {
+				retry = h.wire.Now() + h.Cfg.BatchWindow
+			}
+			return &BackpressureError{Dst: cr.conn.key.dst, RetryAt: retry}
+		}
+	}
 	h.tryAcquire(s)
 	if s.fullyReserved() {
 		h.launch(s)
@@ -328,4 +469,15 @@ func (h *Host) send(p *Proc, msgs []Message, reliable bool) error {
 		h.waitQ = append(h.waitQ, s)
 	}
 	return nil
+}
+
+// batchWindow resolves the effective doorbell window for one send.
+func (h *Host) batchWindow(o SendOptions) sim.Time {
+	if h.Cfg.DisableBatching || o.NoBatch {
+		return 0
+	}
+	if o.BatchWindow > 0 {
+		return o.BatchWindow
+	}
+	return h.Cfg.BatchWindow
 }

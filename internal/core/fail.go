@@ -154,11 +154,15 @@ func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
 		for k := 0; k < 2; k++ {
 			for psn, op := range c.unacked[k] {
 				c.dropInflight(k, psn)
-				if !op.scat.reliable && !op.scat.aborted {
-					op.scat.aborted = true
-					for i := range op.scat.msgs {
-						if op.scat.ackedMsg[i] < op.scat.fragsPerMsg[i] {
-							h.failMessage(op.scat, i)
+				// A frame chain carries several scatterings in one slot; each
+				// live best-effort member fails individually.
+				for m := op; m != nil; m = m.fnext {
+					if !m.scat.reliable && !m.scat.aborted {
+						m.scat.aborted = true
+						for i := range m.scat.msgs {
+							if m.scat.ackedMsg[i] < m.scat.fragsPerMsg[i] {
+								h.failMessage(m.scat, i)
+							}
 						}
 					}
 				}
@@ -301,14 +305,17 @@ func (h *Host) PendingTo(src, dst netsim.ProcID) []*netsim.Packet {
 		return nil
 	}
 	var out []*netsim.Packet
-	for psn, op := range c.unacked[1] {
-		out = append(out, c.buildPacket(op, psn))
+	for _, op := range c.unacked[1] {
+		if pkt := c.buildUnit(op); pkt != nil {
+			out = append(out, pkt)
+		}
 	}
 	// Packets parked after MaxRetx exhaustion are exactly the ones the
-	// controller is being asked to forward.
-	for psn, op := range c.stuckPkts {
-		if !op.scat.aborted {
-			out = append(out, c.buildPacket(op, psn))
+	// controller is being asked to forward. buildUnit skips aborted chain
+	// members and returns nil for fully aborted chains.
+	for _, op := range c.stuckPkts {
+		if pkt := c.buildUnit(op); pkt != nil {
+			out = append(out, pkt)
 		}
 	}
 	for _, op := range c.sendQ {

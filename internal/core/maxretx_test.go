@@ -16,6 +16,9 @@ func twoHostCluster(hosts int, maxRetx int) *Cluster {
 	ccfg.InitCwnd = 4
 	ccfg.MaxCwnd = 4
 	ccfg.MaxRetx = maxRetx
+	// These tests assert per-packet window-slot accounting; frame
+	// coalescing would merge the probe scatterings into one slot.
+	ccfg.DisableBatching = true
 	return Deploy(netsim.New(cfg), ccfg)
 }
 

@@ -92,6 +92,19 @@ func (a *asmBuf) markDone(psn uint32) {
 	}
 }
 
+// markDoneSpan consumes span consecutive PSNs starting at psn — a frame's
+// whole sequence range, including members elided from the payload because
+// their scattering aborted. Keeping the range contiguous is what lets
+// doneBase advance without per-frame holes.
+func (a *asmBuf) markDoneSpan(psn uint32, span uint16) {
+	if span == 0 {
+		span = 1
+	}
+	for i := uint32(0); i < uint32(span); i++ {
+		a.markDone(psn + i)
+	}
+}
+
 // add buffers a fragment and returns the carrier packet and total payload
 // size when the fragment completed its message.
 func (a *asmBuf) add(pkt *netsim.Packet) (last *netsim.Packet, size int, complete bool) {
@@ -258,6 +271,10 @@ func (h *Host) updateBarriers(be, c sim.Time) {
 func (h *Host) Barriers() (be, c sim.Time) { return h.barrierBE, h.barrierC }
 
 func (h *Host) handleData(pkt *netsim.Packet) {
+	if pkt.Frame {
+		h.handleFrame(pkt)
+		return
+	}
 	rc := h.getRconn(pkt.Src, pkt.Dst)
 	buf := rc.bufs[cls(pkt.Reliable)]
 	if buf.isDup(pkt.PSN) {
@@ -294,6 +311,56 @@ func (h *Host) handleData(pkt *netsim.Packet) {
 		// the carrier packet itself is terminal here.
 		h.enqueueMsg(last, size)
 		netsim.PutPacket(last)
+		h.drain()
+	}
+}
+
+// handleFrame consumes a multi-message frame: one ACK, one dup check and
+// one contiguous PSN-span consumption for the whole unit, then one reorder
+// -buffer entry per live member with its own timestamp and reconstructed
+// per-member PSN — so delivery order is identical to the unbatched wire.
+func (h *Host) handleFrame(pkt *netsim.Packet) {
+	f, ok := pkt.Payload.(*netsim.Frame)
+	if !ok || len(f.Entries) == 0 {
+		netsim.PutPacket(pkt)
+		return
+	}
+	rc := h.getRconn(pkt.Src, pkt.Dst)
+	buf := rc.bufs[cls(pkt.Reliable)]
+	if buf.isDup(pkt.PSN) {
+		h.Stats.DupPkts++
+		h.ackPacket(pkt) // retransmission of a consumed frame: re-ACK
+		netsim.PutPacket(pkt)
+		return
+	}
+	// Ordering check (§4.1): entries ascend, so the frame's oldest member
+	// decides whether the whole unit can still be delivered in order. The
+	// sender fails every member of a NAKed frame.
+	if !pkt.Reliable && f.Entries[0].TS < h.deliveredFloorBE() {
+		h.Stats.Naks++
+		nak := netsim.GetPacket()
+		nak.Kind, nak.Src, nak.Dst = netsim.KindNak, pkt.Dst, pkt.Src
+		nak.PSN, nak.MsgTS, nak.Size = pkt.PSN, f.Entries[0].TS, netsim.BeaconBytes
+		h.emit(nak)
+		buf.markDoneSpan(pkt.PSN, f.Span)
+		netsim.PutPacket(pkt)
+		return
+	}
+	h.ackPacket(pkt)
+	buf.markDoneSpan(pkt.PSN, f.Span)
+	enq := 0
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if pkt.Reliable && e.TS <= h.deliveredC {
+			h.Stats.DupPkts++ // retransmitted member of a committed frame
+			continue
+		}
+		h.enqueuePending(e.TS, pkt.Src, pkt.Dst, pkt.PSN+uint32(e.PSNOff),
+			e.Data, e.Size, pkt.Reliable, pkt.QueueWait)
+		enq++
+	}
+	netsim.PutPacket(pkt)
+	if enq > 0 {
 		h.drain()
 	}
 }
@@ -370,25 +437,31 @@ func (h *Host) flushAcks(k ackKey) {
 }
 
 func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {
+	h.enqueuePending(pkt.MsgTS, pkt.Src, pkt.Dst, pkt.PSN, pkt.Payload,
+		size, pkt.Reliable, pkt.QueueWait)
+}
+
+func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
+	data any, size int, reliable bool, queueWait sim.Time) {
 	// Discard semantics of failure handling (§5.2): messages from a
 	// failed process beyond its failure timestamp are never delivered,
 	// and recalled scattering members are tombstoned.
-	if failTS, dead := h.failedPeers[pkt.Src]; dead && pkt.MsgTS > failTS {
+	if failTS, dead := h.failedPeers[src]; dead && ts > failTS {
 		return
 	}
-	if h.recallTomb[recallKey{dst: pkt.Src, ts: pkt.MsgTS}] {
+	if h.recallTomb[recallKey{dst: src, ts: ts}] {
 		return
 	}
 	p := &pending{
-		ts: pkt.MsgTS, src: pkt.Src, dst: pkt.Dst, psn: pkt.PSN,
-		data: pkt.Payload, size: size, reliable: pkt.Reliable,
+		ts: ts, src: src, dst: dst, psn: psn,
+		data: data, size: size, reliable: reliable,
 	}
 	if h.Obs.On() {
 		p.enqAt = h.wire.Now()
-		// MsgTS is the sender's launch timestamp; transit is measured
+		// ts is the sender's launch timestamp; transit is measured
 		// against this (skew-bounded) receiver clock.
 		h.Obs.Rec(obs.SpanNetTransit, p.enqAt-p.ts)
-		h.Obs.Rec(obs.SpanSwitchQueue, pkt.QueueWait)
+		h.Obs.Rec(obs.SpanSwitchQueue, queueWait)
 	}
 	if p.reliable {
 		heap.Push(&h.relQ, p)
@@ -406,8 +479,14 @@ func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {
 // order. Best-effort delivery requires ts < barrierBE (strictly: equal
 // timestamps may still arrive); reliable delivery requires ts <= barrierC
 // (§5.1). Unified mode gates both classes on both barriers to produce one
-// cross-class total order.
+// cross-class total order. Contiguous runs for one process accumulate into
+// a delivery batch flushed through OnDeliverBatch at the end of the drain.
 func (h *Host) drain() {
+	h.drainQueues()
+	h.flushDeliveries()
+}
+
+func (h *Host) drainQueues() {
 	switch h.Cfg.Mode {
 	case DeliverSeparate:
 		for h.beQ.Len() > 0 && h.beQ.top().ts < h.barrierBE {
@@ -471,10 +550,41 @@ func (h *Host) deliver(p *pending) {
 		h.Obs.Rec(obs.SpanE2E, now-p.ts)
 	}
 	proc := h.procs[p.dst]
-	if proc == nil || proc.OnDeliver == nil {
+	if proc == nil {
 		return
 	}
-	proc.OnDeliver(Delivery{TS: p.ts, Src: p.src, Dst: p.dst, Data: p.data, Reliable: p.reliable})
+	// Preserve the cross-process callback order on this host: anything
+	// batched for another process flushes before a delivery for this one
+	// is surfaced.
+	if len(h.batchQ) > 0 && h.batchDst != p.dst {
+		h.flushDeliveries()
+	}
+	d := Delivery{TS: p.ts, Src: p.src, Dst: p.dst, Data: p.data, Reliable: p.reliable}
+	if proc.OnDeliverBatch != nil {
+		h.batchDst = p.dst
+		h.batchQ = append(h.batchQ, d)
+		return
+	}
+	if proc.OnDeliver == nil {
+		return
+	}
+	proc.OnDeliver(d)
+}
+
+// flushDeliveries hands the accumulated contiguous run to its process's
+// OnDeliverBatch. The batch slice is reused afterwards; the no-retention
+// rule is documented on OnDeliverBatch.
+func (h *Host) flushDeliveries() {
+	if len(h.batchQ) == 0 {
+		return
+	}
+	proc := h.procs[h.batchDst]
+	h.recvOcc.Add(float64(len(h.batchQ)))
+	h.Stats.DeliverBatches++
+	if proc != nil && proc.OnDeliverBatch != nil {
+		proc.OnDeliverBatch(h.batchQ)
+	}
+	h.batchQ = h.batchQ[:0]
 }
 
 // handleNak reports a best-effort loss (ordering drop) back to the
@@ -489,6 +599,13 @@ func (h *Host) handleNak(pkt *netsim.Packet) {
 		return
 	}
 	c.dropInflight(0, pkt.PSN)
-	h.failMessage(op.scat, op.msgIdx)
+	// A NAKed frame fails every live member: the receiver skipped the
+	// whole PSN span.
+	for m := op; m != nil; m = m.fnext {
+		if m.scat.aborted || m.scat.done {
+			continue
+		}
+		h.failMessage(m.scat, m.msgIdx)
+	}
 	h.grantCredits()
 }

@@ -113,6 +113,19 @@ type Config struct {
 	// given amount, inflating delivery latency and reorder-buffer
 	// occupancy — the knob behind the paper's Fig. 11 overhead sweep.
 	DeliveryHoldback sim.Time
+	// BatchWindow is how long a partial multi-message frame waits for more
+	// same-destination traffic before the doorbell flushes it (§6.1 send
+	// batching). DisableBatching turns coalescing off entirely (one packet
+	// per fragment, the pre-batching wire behavior).
+	BatchWindow     sim.Time
+	BatchBytes      int // frame payload budget; defaults to MTU
+	DisableBatching bool
+	// SendQueueCap bounds each connection's doorbell/send queue in
+	// fragments; sends that would exceed it fail with ErrBackpressure.
+	SendQueueCap int
+	// DisablePiggyback restores unconditional beacon ticks instead of
+	// suppressing beacons while data emissions already carry the floor.
+	DisablePiggyback bool
 }
 
 // DefaultConfig matches the paper's deployment parameters.
@@ -131,7 +144,23 @@ func DefaultConfig() Config {
 		Mode:            DeliverSeparate,
 		AckFlush:        1 * sim.Microsecond,
 		AckBatchMax:     32,
+		BatchWindow:     1 * sim.Microsecond,
+		BatchBytes:      1024,
+		SendQueueCap:    65536,
 	}
+}
+
+// SendOptions parameterizes one scattering; the zero value is a
+// best-effort send with the host's default batching.
+type SendOptions struct {
+	// Reliable selects reliable 1Pipe (2PC, recall on failure) instead of
+	// best-effort.
+	Reliable bool
+	// BatchWindow overrides Config.BatchWindow for this scattering when
+	// positive.
+	BatchWindow sim.Time
+	// NoBatch exempts this scattering from frame coalescing.
+	NoBatch bool
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +188,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BeaconInterval <= 0 {
 		c.BeaconInterval = d.BeaconInterval
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = d.BatchWindow
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = c.MTU
+	}
+	if c.SendQueueCap <= 0 {
+		c.SendQueueCap = d.SendQueueCap
 	}
 	return c
 }

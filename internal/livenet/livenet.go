@@ -74,6 +74,11 @@ type Net struct {
 	regBE, regC []sim.Time
 	outBE, outC sim.Time
 	rng         *rand.Rand // loss injection; touched only on the loop
+	// lastFwd records, per downlink, when the switch last forwarded a data
+	// packet: forwarded packets are restamped with the aggregated barrier,
+	// so a recently-active downlink needs no standalone beacon (§4.2
+	// piggybacking). Touched only on the loop.
+	lastFwd []time.Time
 
 	traces []*obs.Trace
 	debug  *http.Server
@@ -119,9 +124,10 @@ func New(cfg Config) *Net {
 		loop:  make(chan func(), 4096),
 		done:  make(chan struct{}),
 		start: time.Now(),
-		regBE: make([]sim.Time, cfg.Hosts),
-		regC:  make([]sim.Time, cfg.Hosts),
-		rng:   rand.New(rand.NewSource(seed)),
+		regBE:   make([]sim.Time, cfg.Hosts),
+		regC:    make([]sim.Time, cfg.Hosts),
+		rng:     rand.New(rand.NewSource(seed)),
+		lastFwd: make([]time.Time, cfg.Hosts),
 	}
 	n.wg.Add(1)
 	go n.run()
@@ -233,6 +239,7 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 		netsim.PutPacket(pkt)
 		return
 	}
+	n.lastFwd[dstHost] = time.Now()
 	time.AfterFunc(n.cfg.LinkDelay, func() {
 		n.post(func() { n.hosts[dstHost].HandlePacket(pkt) })
 	})
@@ -257,11 +264,16 @@ func (n *Net) aggregate() (be, c sim.Time) {
 	return n.outBE, n.outC
 }
 
-// relayBeacons pushes the aggregated barrier to every host downlink.
+// relayBeacons pushes the aggregated barrier to every host downlink whose
+// recent traffic has not already carried it (beacon piggybacking, §4.2).
 func (n *Net) relayBeacons() {
 	be, c := n.aggregate()
 	for h := range n.hosts {
 		h := h
+		if !n.hosts[h].Cfg.DisablePiggyback &&
+			time.Since(n.lastFwd[h]) < n.cfg.BeaconInterval {
+			continue
+		}
 		pkt := netsim.GetPacket()
 		pkt.Kind, pkt.BarrierBE, pkt.BarrierC, pkt.Size = netsim.KindBeacon, be, c, netsim.BeaconBytes
 		time.AfterFunc(n.cfg.LinkDelay, func() {
@@ -272,6 +284,9 @@ func (n *Net) relayBeacons() {
 
 // NumProcs returns the process count.
 func (n *Net) NumProcs() int { return len(n.procs) }
+
+// Now returns the fabric clock: wall-clock nanoseconds since start.
+func (n *Net) Now() sim.Time { return sim.Time(time.Since(n.start)) }
 
 // Traces returns the per-host lifecycle tracers (empty unless Config.Trace);
 // feed them to obs.Merge for the fabric-wide breakdown.
@@ -313,15 +328,27 @@ func (n *Net) Proc(p int) *core.Proc { return n.procs[p] }
 
 // Send issues a scattering from process p on the loop.
 func (n *Net) Send(p int, reliable bool, msgs []core.Message) error {
-	var err error
-	n.Do(func() {
-		if reliable {
-			err = n.procs[p].SendReliable(msgs)
-		} else {
-			err = n.procs[p].Send(msgs)
+	return n.SendOpts(p, msgs, core.SendOptions{Reliable: reliable})
+}
+
+// SendOpts issues a scattering with explicit options on the loop. Sends
+// racing Stop return an error wrapping core.ErrClosed; a send that loses
+// the race after its closure was already queued may conservatively report
+// ErrClosed even though the (stopped) endpoint saw it.
+func (n *Net) SendOpts(p int, msgs []core.Message, o core.SendOptions) error {
+	res := make(chan error, 1)
+	n.post(func() { res <- n.procs[p].SendOpts(msgs, o) })
+	select {
+	case err := <-res:
+		return err
+	case <-n.done:
+		select {
+		case err := <-res:
+			return err
+		default:
+			return fmt.Errorf("livenet: fabric stopped: %w", core.ErrClosed)
 		}
-	})
-	return err
+	}
 }
 
 // Stop shuts the fabric down.

@@ -118,8 +118,15 @@ type Packet struct {
 	ECN bool
 
 	// Payload carries the application message by reference; the simulator
-	// never inspects it.
+	// never inspects it. For Frame packets it holds a *Frame.
 	Payload any
+
+	// Frame marks a multi-message data frame: Payload is a *Frame whose
+	// entries each carry their own message timestamp (§6.1 send batching).
+	// MsgTS then holds the first (smallest) entry timestamp so barrier
+	// promises keep referring to the oldest message in the packet, and PSN
+	// holds the first of Frame.Span consecutive sequence numbers.
+	Frame bool
 
 	// SentAt is the true (simulation) time the packet left the sender,
 	// for latency accounting.
@@ -135,6 +142,71 @@ type Packet struct {
 
 func (p *Packet) String() string {
 	return fmt.Sprintf("%s %d->%d ts=%v be=%v c=%v psn=%d", p.Kind, p.Src, p.Dst, p.MsgTS, p.BarrierBE, p.BarrierC, p.PSN)
+}
+
+// FrameEntryBytes is the per-entry wire overhead inside a frame payload: a
+// 48-bit message timestamp, a 16-bit PSN offset and a 32-bit payload
+// length.
+const FrameEntryBytes = 12
+
+// FrameEntry is one message inside a multi-message frame. Entries are
+// ordered by ascending TS (the sender's emission order).
+type FrameEntry struct {
+	// TS is the entry's message timestamp; unlike single-message packets,
+	// each frame member keeps its own.
+	TS sim.Time
+	// PSNOff is the entry's sequence-number offset from the packet's PSN:
+	// the member's own PSN is pkt.PSN + PSNOff. Offsets are strictly
+	// ascending and below Span; gaps mark members aborted between
+	// transmissions.
+	PSNOff uint16
+	// Size is the application payload size in bytes (excluding the
+	// FrameEntryBytes framing overhead).
+	Size int
+	// Data carries the application message by reference. Over a real wire
+	// it must be a []byte.
+	Data any
+}
+
+// Frame is the payload of a multi-message data packet: several same-
+// destination, same-class messages coalesced by the sender's doorbell queue
+// into one wire frame.
+type Frame struct {
+	// Entries holds the member messages in ascending-TS order. Aborted
+	// members are omitted but still counted in Span.
+	Entries []FrameEntry
+	// Span is the number of consecutive PSNs the frame covers, starting at
+	// the packet's PSN. It can exceed len(Entries) when members were
+	// aborted between transmissions; the receiver marks the whole span
+	// received either way.
+	Span uint16
+
+	pooled bool
+}
+
+var framePool = sync.Pool{New: func() any { return new(Frame) }}
+
+// GetFrame returns an empty Frame from the free list. Ownership follows the
+// packet that carries it: PutPacket releases an attached frame.
+func GetFrame() *Frame {
+	f := framePool.Get().(*Frame)
+	f.pooled = false
+	return f
+}
+
+// PutFrame resets f (keeping entry capacity) and returns it to the free
+// list. Double release panics, mirroring PutPacket.
+func PutFrame(f *Frame) {
+	if f.pooled {
+		panic("netsim: PutFrame called twice on the same frame")
+	}
+	for i := range f.Entries {
+		f.Entries[i].Data = nil
+	}
+	f.Entries = f.Entries[:0]
+	f.Span = 0
+	f.pooled = true
+	framePool.Put(f)
 }
 
 // pktPool recycles Packet structs across the send and receive hot paths.
@@ -161,6 +233,9 @@ func GetPacket() *Packet {
 func PutPacket(p *Packet) {
 	if p.pooled {
 		panic("netsim: PutPacket called twice on the same packet")
+	}
+	if f, ok := p.Payload.(*Frame); ok {
+		PutFrame(f)
 	}
 	*p = Packet{pooled: true}
 	pktPool.Put(p)

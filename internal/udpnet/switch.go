@@ -26,6 +26,10 @@ type Switch struct {
 	blackhole map[int]bool         // host id -> data-plane partitioned
 	regBE     map[int]sim.Time
 	regC      map[int]sim.Time
+	// lastFwd records when each downlink last carried a forwarded data
+	// packet; recently-active downlinks skip standalone beacons because the
+	// forwarded packets already carry the restamped aggregate (§4.2).
+	lastFwd map[int]time.Time
 	outBE   sim.Time
 	outC    sim.Time
 	rng     *rand.Rand
@@ -37,8 +41,9 @@ type Switch struct {
 	// registers, so Start can wait on registration instead of polling.
 	regNotify chan struct{}
 
-	// Forwarded / Dropped count data-plane packets (statistics).
-	Forwarded, Dropped uint64
+	// Forwarded / Dropped count data-plane packets; BeaconsSuppressed
+	// counts downlink beacons skipped by piggybacking (statistics).
+	Forwarded, Dropped, BeaconsSuppressed uint64
 }
 
 func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
@@ -46,13 +51,18 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 	if err != nil {
 		return nil, err
 	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
 	s := &Switch{
 		cfg: cfg, conn: conn, epoch: epoch,
 		addrs:     make(map[int]*net.UDPAddr),
 		blackhole: make(map[int]bool),
 		regBE:     make(map[int]sim.Time),
 		regC:      make(map[int]sim.Time),
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+		lastFwd:   make(map[int]time.Time),
+		rng:       rand.New(rand.NewSource(seed)),
 		stopped:   make(chan struct{}),
 		regNotify: make(chan struct{}, 1),
 	}
@@ -157,6 +167,7 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 	pkt.BarrierBE, pkt.BarrierC = be, c
 	s.encBuf = wire.AppendEncode(s.encBuf[:0], pkt, payload)
 	s.Forwarded++
+	s.lastFwd[dstHost] = time.Now()
 	s.conn.WriteToUDP(s.encBuf, dst)
 }
 
@@ -201,8 +212,14 @@ func (s *Switch) beaconLoop() {
 				return
 			}
 			be, c := s.aggregateLocked()
+			piggyback := s.cfg.Endpoint == nil || !s.cfg.Endpoint.DisablePiggyback
 			b := wire.Encode(&netsim.Packet{Kind: netsim.KindBeacon, BarrierBE: be, BarrierC: c}, nil)
-			for _, addr := range s.addrs {
+			now := time.Now()
+			for h, addr := range s.addrs {
+				if piggyback && now.Sub(s.lastFwd[h]) < s.cfg.BeaconInterval {
+					s.BeaconsSuppressed++
+					continue
+				}
 				s.conn.WriteToUDP(b, addr)
 			}
 			s.mu.Unlock()

@@ -35,6 +35,9 @@ type Config struct {
 	// LossRate drops packets at the switch (loopback never loses, so the
 	// reliability machinery is exercised by injection).
 	LossRate float64
+	// Seed seeds the switch's loss-injection RNG so lossy runs are
+	// reproducible; zero draws from the wall clock.
+	Seed int64
 	// Endpoint overrides lib1pipe configuration.
 	Endpoint *core.Config
 	// RegisterTimeout bounds Start's wait for all hosts to register at the
@@ -149,6 +152,9 @@ func (c *Cluster) Proc(p int) *ProcHandle {
 // NumProcs returns the total process count.
 func (c *Cluster) NumProcs() int { return len(c.Hosts) * c.Hosts[0].cfg.ProcsPerHost }
 
+// Now returns the fabric clock: nanoseconds since the shared epoch.
+func (c *Cluster) Now() sim.Time { return sim.Time(time.Since(c.epoch)) }
+
 // Close shuts the fabric down.
 func (c *Cluster) Close() {
 	if c.debug != nil {
@@ -177,12 +183,43 @@ func (p *ProcHandle) OnDeliver(fn func(core.Delivery)) {
 	p.host.procs[p.id].OnDeliver = fn
 }
 
+// OnDeliverBatch installs the batched delivery callback (takes precedence
+// over OnDeliver; the slice is reused after the callback returns).
+func (p *ProcHandle) OnDeliverBatch(fn func([]core.Delivery)) {
+	p.host.mu.Lock()
+	defer p.host.mu.Unlock()
+	p.host.procs[p.id].OnDeliverBatch = fn
+}
+
+// OnSendFail installs the send-failure callback.
+func (p *ProcHandle) OnSendFail(fn func(core.SendFailure)) {
+	p.host.mu.Lock()
+	defer p.host.mu.Unlock()
+	p.host.procs[p.id].OnSendFail = fn
+}
+
+// OnProcFail installs the process-failure callback.
+func (p *ProcHandle) OnProcFail(fn func(netsim.ProcID, sim.Time)) {
+	p.host.mu.Lock()
+	defer p.host.mu.Unlock()
+	p.host.procs[p.id].OnProcFail = fn
+}
+
 // Send issues a best-effort scattering; message Data must be []byte (it
 // crosses a real socket).
-func (p *ProcHandle) Send(msgs []core.Message) error { return p.host.send(p.id, msgs, false) }
+func (p *ProcHandle) Send(msgs []core.Message) error {
+	return p.host.send(p.id, msgs, core.SendOptions{})
+}
 
 // SendReliable issues a reliable scattering.
-func (p *ProcHandle) SendReliable(msgs []core.Message) error { return p.host.send(p.id, msgs, true) }
+func (p *ProcHandle) SendReliable(msgs []core.Message) error {
+	return p.host.send(p.id, msgs, core.SendOptions{Reliable: true})
+}
+
+// SendOpts issues a scattering with explicit options.
+func (p *ProcHandle) SendOpts(msgs []core.Message, o core.SendOptions) error {
+	return p.host.send(p.id, msgs, o)
+}
 
 // HostNode is one UDP host endpoint.
 type HostNode struct {
@@ -291,7 +328,17 @@ func (h *HostNode) readLoop() {
 		}
 		if len(payload) > 0 {
 			// The payload aliases the read buffer; copy before the next read.
-			pkt.Payload = append([]byte(nil), payload...)
+			cp := append([]byte(nil), payload...)
+			if pkt.Frame {
+				f, ferr := wire.ParseFramePayload(cp, sim.Time(time.Since(h.epoch)))
+				if ferr != nil {
+					netsim.PutPacket(pkt)
+					continue
+				}
+				pkt.Payload = f // entry Data aliases cp, which outlives the frame
+			} else {
+				pkt.Payload = cp
+			}
 		}
 		h.mu.Lock()
 		if !h.closed {
@@ -310,20 +357,17 @@ func (h *HostNode) Trace() *obs.Trace {
 	return h.core.Obs
 }
 
-func (h *HostNode) send(src netsim.ProcID, msgs []core.Message, reliable bool) error {
+func (h *HostNode) send(src netsim.ProcID, msgs []core.Message, o core.SendOptions) error {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return fmt.Errorf("udpnet: host %d closed", h.id)
+		return fmt.Errorf("udpnet: host %d closed: %w", h.id, core.ErrClosed)
 	}
 	p := h.procs[src]
 	if p == nil {
 		return fmt.Errorf("udpnet: proc %d not on host %d", src, h.id)
 	}
-	if reliable {
-		return p.SendReliable(msgs)
-	}
-	return p.Send(msgs)
+	return p.SendOpts(msgs, o)
 }
 
 func (h *HostNode) close() {

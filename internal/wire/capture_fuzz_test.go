@@ -40,21 +40,60 @@ func FuzzDecodeCaptured(f *testing.F) {
 	})
 }
 
+// FuzzParseFrameCaptured seeds the frame-body parser with the payload
+// sections of real coalesced frames harvested from a chaos run — multi-entry
+// bodies with live timestamps and PSN offsets, including spans widened by
+// aborted members — then mutates from there. It must never panic, and
+// accepted bodies must keep their structural invariants.
+func FuzzParseFrameCaptured(f *testing.F) {
+	for _, raw := range chaos.CaptureWirePackets(42, 8) {
+		if len(raw) <= wire.HeaderLen || raw[25]&(1<<3) == 0 { // flags byte: frame bit
+			continue
+		}
+		f.Add(raw[wire.HeaderLen:])
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fr, err := wire.ParseFramePayload(body, 1<<40)
+		if err != nil {
+			return
+		}
+		if len(fr.Entries) == 0 || int(fr.Span) < len(fr.Entries) {
+			t.Fatalf("accepted frame violates invariants: %d entries, span %d", len(fr.Entries), fr.Span)
+		}
+		prev := -1
+		for i := range fr.Entries {
+			if int(fr.Entries[i].PSNOff) <= prev || fr.Entries[i].PSNOff >= fr.Span {
+				t.Fatalf("accepted frame has bad PSN offset at entry %d", i)
+			}
+			prev = int(fr.Entries[i].PSNOff)
+		}
+	})
+}
+
 // TestCapturedCorpusCoversKinds asserts the harvest actually contains frames
 // of several distinct kinds — a capture that only ever saw data packets
-// would silently gut FuzzDecodeCaptured's seed diversity.
+// would silently gut FuzzDecodeCaptured's seed diversity. It also requires
+// at least one coalesced multi-message frame, the seed material for
+// FuzzParseFrameCaptured.
 func TestCapturedCorpusCoversKinds(t *testing.T) {
 	frames := chaos.CaptureWirePackets(42, 4)
 	if len(frames) < 8 {
 		t.Fatalf("capture produced only %d frames", len(frames))
 	}
 	kinds := map[byte]bool{}
+	coalesced := 0
 	for _, fr := range frames {
 		if len(fr) >= wire.HeaderLen {
 			kinds[fr[24]] = true // opcode byte of the wire header
+			if fr[25]&(1<<3) != 0 {
+				coalesced++
+			}
 		}
 	}
 	if len(kinds) < 4 {
 		t.Fatalf("capture covers only %d packet kinds, want >=4 (data/ack/beacon/commit/recall...)", len(kinds))
+	}
+	if coalesced == 0 {
+		t.Fatal("capture contains no coalesced frame packets")
 	}
 }

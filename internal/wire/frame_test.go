@@ -1,0 +1,161 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+func mkFrame(entries []netsim.FrameEntry, span uint16) *netsim.Frame {
+	f := netsim.GetFrame()
+	f.Entries = append(f.Entries, entries...)
+	f.Span = span
+	return f
+}
+
+// TestFrameRoundTrip encodes a multi-message frame packet and checks the
+// decoded frame reproduces every entry — timestamps, PSN offsets and payload
+// bytes — including a span gap left by an aborted member.
+func TestFrameRoundTrip(t *testing.T) {
+	ref := sim.Time(5 * sim.Millisecond)
+	f := mkFrame([]netsim.FrameEntry{
+		{TS: ref + 10, PSNOff: 0, Data: []byte("alpha")},
+		{TS: ref + 10, PSNOff: 1, Data: []byte{}},
+		// PSNOff 2 missing: a member aborted between transmissions.
+		{TS: ref + 30, PSNOff: 3, Data: []byte("gamma-longer-payload")},
+	}, 4)
+	defer netsim.PutFrame(f)
+	pkt := &netsim.Packet{
+		Kind: netsim.KindData, Src: 3, Dst: 9, MsgTS: ref + 10,
+		PSN: 1000, Frame: true, Reliable: true, Payload: f,
+	}
+	buf := Encode(pkt, nil)
+
+	dec, payload, err := Decode(buf, ref)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !dec.Frame {
+		t.Fatal("frame flag lost")
+	}
+	got, err := ParseFramePayload(payload, ref)
+	if err != nil {
+		t.Fatalf("parse frame: %v", err)
+	}
+	defer netsim.PutFrame(got)
+	if got.Span != f.Span || len(got.Entries) != len(f.Entries) {
+		t.Fatalf("shape changed: span=%d entries=%d, want span=%d entries=%d",
+			got.Span, len(got.Entries), f.Span, len(f.Entries))
+	}
+	for i := range f.Entries {
+		w, g := &f.Entries[i], &got.Entries[i]
+		if g.TS != w.TS || g.PSNOff != w.PSNOff {
+			t.Fatalf("entry %d header changed: got ts=%v off=%d, want ts=%v off=%d",
+				i, g.TS, g.PSNOff, w.TS, w.PSNOff)
+		}
+		want := w.Data.([]byte)
+		var gotData []byte
+		if g.Data != nil {
+			gotData = g.Data.([]byte)
+		}
+		if !bytes.Equal(gotData, want) {
+			t.Fatalf("entry %d payload changed: got %q want %q", i, gotData, want)
+		}
+	}
+}
+
+// TestFrameRejectsMalformed feeds ParseFramePayload structurally invalid
+// bodies; each must return an error rather than a bogus frame or a panic.
+func TestFrameRejectsMalformed(t *testing.T) {
+	enc := func(entries []netsim.FrameEntry, span uint16) []byte {
+		f := mkFrame(entries, span)
+		defer netsim.PutFrame(f)
+		b := make([]byte, framePayloadLen(f))
+		putFramePayload(b, f)
+		return b
+	}
+	ref := sim.Time(sim.Millisecond)
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"truncated head", []byte{0, 1}},
+		{"zero entries", enc(nil, 1)},
+		{"span below count", enc([]netsim.FrameEntry{
+			{TS: ref, PSNOff: 0, Data: []byte("a")},
+			{TS: ref, PSNOff: 1, Data: []byte("b")},
+		}, 1)},
+		{"descending ts", enc([]netsim.FrameEntry{
+			{TS: ref + 100, PSNOff: 0},
+			{TS: ref + 50, PSNOff: 1},
+		}, 2)},
+		{"duplicate psn offset", enc([]netsim.FrameEntry{
+			{TS: ref, PSNOff: 1},
+			{TS: ref, PSNOff: 1},
+		}, 3)},
+		{"offset outside span", enc([]netsim.FrameEntry{
+			{TS: ref, PSNOff: 0},
+			{TS: ref, PSNOff: 5},
+		}, 2)},
+	}
+	for _, tc := range cases {
+		if f, err := ParseFramePayload(tc.body, ref); err == nil {
+			netsim.PutFrame(f)
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Truncated entry payload: declare more data bytes than present.
+	good := enc([]netsim.FrameEntry{{TS: ref, PSNOff: 0, Data: []byte("abcdef")}}, 1)
+	if f, err := ParseFramePayload(good[:len(good)-3], ref); err == nil {
+		netsim.PutFrame(f)
+		t.Error("truncated entry payload: accepted")
+	}
+}
+
+// FuzzParseFrame throws arbitrary bytes at the frame-body parser: it must
+// never panic, and any body it accepts must re-encode and re-parse to an
+// equivalent frame.
+func FuzzParseFrame(f *testing.F) {
+	seed := mkFrame([]netsim.FrameEntry{
+		{TS: 1000, PSNOff: 0, Data: []byte("one")},
+		{TS: 1001, PSNOff: 2, Data: []byte("two")},
+	}, 3)
+	b := make([]byte, framePayloadLen(seed))
+	putFramePayload(b, seed)
+	netsim.PutFrame(seed)
+	f.Add(b)
+	f.Add([]byte{})
+	f.Add(make([]byte, frameHeadLen))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ref := sim.Time(0)
+		fr, err := ParseFramePayload(body, ref)
+		if err != nil {
+			return
+		}
+		re := make([]byte, framePayloadLen(fr))
+		putFramePayload(re, fr)
+		fr2, err2 := ParseFramePayload(re, ref)
+		if err2 != nil {
+			t.Fatalf("re-parse failed: %v", err2)
+		}
+		if fr2.Span != fr.Span || len(fr2.Entries) != len(fr.Entries) {
+			t.Fatal("frame shape changed across round trip")
+		}
+		for i := range fr.Entries {
+			a, b := &fr.Entries[i], &fr2.Entries[i]
+			if WrapTS(a.TS) != WrapTS(b.TS) || a.PSNOff != b.PSNOff {
+				t.Fatalf("entry %d header changed across round trip", i)
+			}
+			ad, _ := a.Data.([]byte)
+			bd, _ := b.Data.([]byte)
+			if !bytes.Equal(ad, bd) {
+				t.Fatalf("entry %d payload changed across round trip", i)
+			}
+		}
+		netsim.PutFrame(fr2)
+		netsim.PutFrame(fr)
+	})
+}

@@ -71,13 +71,21 @@ const (
 	flagEndOfMsg = 1 << 0
 	flagReliable = 1 << 1
 	flagECN      = 1 << 2
+	flagFrame    = 1 << 3
 )
+
+// frameHeadLen is the fixed prefix of a frame payload: a 16-bit entry count
+// and a 16-bit PSN span.
+const frameHeadLen = 4
 
 // ErrShort reports a truncated packet.
 var ErrShort = errors.New("wire: short packet")
 
 // ErrBadOpcode reports an unknown opcode.
 var ErrBadOpcode = errors.New("wire: bad opcode")
+
+// ErrBadFrame reports a structurally invalid multi-message frame payload.
+var ErrBadFrame = errors.New("wire: bad frame payload")
 
 func put48(b []byte, v uint64) {
 	b[0] = byte(v >> 40)
@@ -103,9 +111,21 @@ func Encode(pkt *netsim.Packet, payload []byte) []byte {
 // AppendEncode serializes pkt into dst, reusing dst's capacity, and returns
 // the extended slice. With a dst of capacity >= HeaderLen+len(payload) —
 // typically a pooled send buffer sliced to dst[:0] — it does not allocate.
+//
+// A Frame packet with a nil payload serializes its *netsim.Frame Payload as
+// a length-prefixed multi-payload frame body (entry Data values that are
+// not []byte encode as zero-length payloads). A Frame packet with explicit
+// payload bytes — a forwarder restamping barriers — passes them through
+// opaquely.
 func AppendEncode(dst []byte, pkt *netsim.Packet, payload []byte) []byte {
+	var frame *netsim.Frame
+	plen := len(payload)
+	if pkt.Frame && payload == nil {
+		frame, _ = pkt.Payload.(*netsim.Frame)
+		plen = framePayloadLen(frame)
+	}
 	off := len(dst)
-	n := off + HeaderLen + len(payload)
+	n := off + HeaderLen + plen
 	if cap(dst) < n {
 		grown := make([]byte, n)
 		copy(grown, dst)
@@ -130,12 +150,100 @@ func AppendEncode(dst []byte, pkt *netsim.Packet, payload []byte) []byte {
 	if pkt.ECN {
 		flags |= flagECN
 	}
+	if pkt.Frame {
+		flags |= flagFrame
+	}
 	buf[25] = flags
 	binary.BigEndian.PutUint32(buf[26:], uint32(pkt.Src))
 	binary.BigEndian.PutUint32(buf[30:], uint32(pkt.Dst))
-	binary.BigEndian.PutUint32(buf[34:], uint32(len(payload)))
-	copy(buf[HeaderLen:], payload)
+	binary.BigEndian.PutUint32(buf[34:], uint32(plen))
+	if frame != nil {
+		putFramePayload(buf[HeaderLen:], frame)
+	} else {
+		copy(buf[HeaderLen:], payload)
+	}
 	return dst
+}
+
+// framePayloadLen is the encoded size of a frame body.
+func framePayloadLen(f *netsim.Frame) int {
+	if f == nil {
+		return 0
+	}
+	n := frameHeadLen
+	for i := range f.Entries {
+		n += netsim.FrameEntryBytes
+		if data, ok := f.Entries[i].Data.([]byte); ok {
+			n += len(data)
+		}
+	}
+	return n
+}
+
+func putFramePayload(b []byte, f *netsim.Frame) {
+	if f == nil {
+		return
+	}
+	binary.BigEndian.PutUint16(b[0:], uint16(len(f.Entries)))
+	binary.BigEndian.PutUint16(b[2:], f.Span)
+	off := frameHeadLen
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		data, _ := e.Data.([]byte)
+		put48(b[off:], WrapTS(e.TS))
+		binary.BigEndian.PutUint16(b[off+6:], e.PSNOff)
+		binary.BigEndian.PutUint32(b[off+8:], uint32(len(data)))
+		copy(b[off+netsim.FrameEntryBytes:], data)
+		off += netsim.FrameEntryBytes + len(data)
+	}
+}
+
+// ParseFramePayload decodes a frame body (the payload bytes of a packet
+// whose Frame flag is set) into a pooled *netsim.Frame. Entry Data slices
+// alias payload; copy payload first if it will be reused. The frame is
+// validated structurally: at least one entry, ascending entry timestamps,
+// and a PSN span covering every entry.
+func ParseFramePayload(payload []byte, ref sim.Time) (*netsim.Frame, error) {
+	if len(payload) < frameHeadLen {
+		return nil, ErrShort
+	}
+	count := int(binary.BigEndian.Uint16(payload[0:]))
+	span := binary.BigEndian.Uint16(payload[2:])
+	if count == 0 || int(span) < count {
+		return nil, ErrBadFrame
+	}
+	f := netsim.GetFrame()
+	off := frameHeadLen
+	var prevTS sim.Time
+	prevOff := -1
+	for i := 0; i < count; i++ {
+		if len(payload)-off < netsim.FrameEntryBytes {
+			netsim.PutFrame(f)
+			return nil, ErrShort
+		}
+		ts := UnwrapTS(get48(payload[off:]), ref)
+		psnOff := binary.BigEndian.Uint16(payload[off+6:])
+		dlen := int(binary.BigEndian.Uint32(payload[off+8:]))
+		off += netsim.FrameEntryBytes
+		if dlen < 0 || dlen > len(payload)-off {
+			netsim.PutFrame(f)
+			return nil, ErrShort
+		}
+		if (i > 0 && ts < prevTS) || int(psnOff) <= prevOff || psnOff >= span {
+			netsim.PutFrame(f)
+			return nil, ErrBadFrame
+		}
+		prevTS = ts
+		prevOff = int(psnOff)
+		var data any
+		if dlen > 0 {
+			data = payload[off : off+dlen]
+		}
+		f.Entries = append(f.Entries, netsim.FrameEntry{TS: ts, PSNOff: psnOff, Size: dlen, Data: data})
+		off += dlen
+	}
+	f.Span = span
+	return f, nil
 }
 
 // Decode parses a packet. ref anchors 48-bit timestamps back onto the full
@@ -175,6 +283,7 @@ func DecodeInto(pkt *netsim.Packet, buf []byte, ref sim.Time) ([]byte, error) {
 	pkt.EndOfMsg = flags&flagEndOfMsg != 0
 	pkt.Reliable = flags&flagReliable != 0
 	pkt.ECN = flags&flagECN != 0
+	pkt.Frame = flags&flagFrame != 0
 	pkt.Src = netsim.ProcID(binary.BigEndian.Uint32(buf[26:]))
 	pkt.Dst = netsim.ProcID(binary.BigEndian.Uint32(buf[30:]))
 	pkt.Size = HeaderLen + int(plen)

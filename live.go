@@ -1,6 +1,7 @@
 package onepipe
 
 import (
+	"sync"
 	"time"
 
 	"onepipe/internal/core"
@@ -12,11 +13,16 @@ import (
 // the simulated Cluster, but running on wall-clock time — either over
 // in-process channels or over real UDP sockets on loopback. Use it to
 // embed 1Pipe semantics in an actual program rather than an experiment.
+// It satisfies Fabric, so code written against Process handles runs
+// unchanged on the simulator and both live substrates.
 type Live struct {
-	np      int
-	send    func(p int, reliable bool, msgs []Message) error
-	deliver func(p int, fn func(Delivery))
-	stop    func()
+	np   int
+	make func(p int) procBackend
+	stop func()
+
+	mu      sync.Mutex
+	handles []*Process
+	once    sync.Once
 }
 
 // LiveConfig sizes a real-time fabric.
@@ -28,7 +34,55 @@ type LiveConfig struct {
 	BeaconInterval time.Duration
 	// LossRate (UDP fabric only) injects loss at the software switch.
 	LossRate float64
+	// Seed makes injected loss reproducible; zero draws from the wall
+	// clock.
+	Seed int64
+	// BatchWindow overrides the send-side frame-coalescing window
+	// (default 1 us).
+	BatchWindow time.Duration
+	// DisableBatching turns send-side frame coalescing off entirely.
+	DisableBatching bool
 }
+
+// endpointOverride translates the LiveConfig batching knobs into a
+// lib1pipe endpoint override, or nil when the defaults stand.
+func (cfg LiveConfig) endpointOverride() *core.Config {
+	if cfg.BatchWindow <= 0 && !cfg.DisableBatching {
+		return nil
+	}
+	e := core.DefaultConfig()
+	if cfg.BatchWindow > 0 {
+		e.BatchWindow = Timestamp(cfg.BatchWindow)
+	}
+	e.DisableBatching = cfg.DisableBatching
+	return &e
+}
+
+// liveBackend wires a Process handle to the in-process fabric: callback
+// registration hops onto the event loop, sends return ErrClosed-wrapped
+// errors when racing Close.
+type liveBackend struct {
+	n *livenet.Net
+	p int
+}
+
+func (b liveBackend) id() ProcID { return ProcID(b.p) }
+func (b liveBackend) send(msgs []Message, o core.SendOptions) error {
+	return b.n.SendOpts(b.p, msgs, o)
+}
+func (b liveBackend) setOnDeliver(fn func(Delivery)) {
+	b.n.Do(func() { b.n.Proc(b.p).OnDeliver = fn })
+}
+func (b liveBackend) setOnDeliverBatch(fn func([]Delivery)) {
+	b.n.Do(func() { b.n.Proc(b.p).OnDeliverBatch = fn })
+}
+func (b liveBackend) setOnSendFail(fn func(SendFailure)) {
+	b.n.Do(func() { b.n.Proc(b.p).OnSendFail = fn })
+}
+func (b liveBackend) setOnProcFail(fn func(ProcID, Timestamp)) {
+	b.n.Do(func() { b.n.Proc(b.p).OnProcFail = fn })
+}
+func (b liveBackend) now() Timestamp { return b.n.Now() }
 
 // NewLiveCluster starts an in-process real-time fabric (goroutines and
 // channels). Stop it with Close.
@@ -37,18 +91,34 @@ func NewLiveCluster(cfg LiveConfig) *Live {
 	if cfg.BeaconInterval > 0 {
 		lcfg.BeaconInterval = cfg.BeaconInterval
 	}
+	lcfg.LossRate = cfg.LossRate
+	lcfg.Seed = cfg.Seed
+	lcfg.Endpoint = cfg.endpointOverride()
 	n := livenet.New(lcfg)
 	return &Live{
-		np: n.NumProcs(),
-		send: func(p int, reliable bool, msgs []Message) error {
-			return n.Send(p, reliable, msgs)
-		},
-		deliver: func(p int, fn func(Delivery)) {
-			n.Do(func() { n.Proc(p).OnDeliver = fn })
-		},
+		np:   n.NumProcs(),
+		make: func(p int) procBackend { return liveBackend{n: n, p: p} },
 		stop: n.Stop,
 	}
 }
+
+// udpBackend wires a Process handle to the UDP fabric's ProcHandle.
+type udpBackend struct {
+	c *udpnet.Cluster
+	p int
+}
+
+func (b udpBackend) id() ProcID { return ProcID(b.p) }
+func (b udpBackend) send(msgs []Message, o core.SendOptions) error {
+	return b.c.Proc(b.p).SendOpts(msgs, o)
+}
+func (b udpBackend) setOnDeliver(fn func(Delivery))        { b.c.Proc(b.p).OnDeliver(fn) }
+func (b udpBackend) setOnDeliverBatch(fn func([]Delivery)) { b.c.Proc(b.p).OnDeliverBatch(fn) }
+func (b udpBackend) setOnSendFail(fn func(SendFailure))    { b.c.Proc(b.p).OnSendFail(fn) }
+func (b udpBackend) setOnProcFail(fn func(ProcID, Timestamp)) {
+	b.c.Proc(b.p).OnProcFail(fn)
+}
+func (b udpBackend) now() Timestamp { return b.c.Now() }
 
 // NewUDPCluster starts a fabric over real UDP sockets on loopback: one
 // socket per host plus a software switch performing barrier aggregation in
@@ -60,35 +130,55 @@ func NewUDPCluster(cfg LiveConfig) (*Live, error) {
 		ucfg.BeaconInterval = cfg.BeaconInterval
 	}
 	ucfg.LossRate = cfg.LossRate
+	ucfg.Seed = cfg.Seed
+	ucfg.Endpoint = cfg.endpointOverride()
 	c, err := udpnet.Start(ucfg)
 	if err != nil {
 		return nil, err
 	}
 	return &Live{
-		np: c.NumProcs(),
-		send: func(p int, reliable bool, msgs []Message) error {
-			if reliable {
-				return c.Proc(p).SendReliable(msgs)
-			}
-			return c.Proc(p).Send(msgs)
-		},
-		deliver: func(p int, fn func(core.Delivery)) { c.Proc(p).OnDeliver(fn) },
-		stop:    c.Close,
+		np:   c.NumProcs(),
+		make: func(p int) procBackend { return udpBackend{c: c, p: p} },
+		stop: c.Close,
 	}, nil
 }
 
 // NumProcesses returns the process count.
 func (l *Live) NumProcesses() int { return l.np }
 
+// Process returns the endpoint handle of process p. Handles are cached:
+// repeated calls return the same *Process. Unlike the simulated Cluster, a
+// Live handle's Poll queue fills from the fabric goroutine, so Poll and
+// Pending are safe to call from any goroutine.
+func (l *Live) Process(p int) *Process {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.handles == nil {
+		l.handles = make([]*Process, l.np)
+	}
+	if l.handles[p] == nil {
+		l.handles[p] = newProcess(l.make(p))
+	}
+	return l.handles[p]
+}
+
 // OnDeliver installs process p's delivery callback. Callbacks run on the
 // fabric's internal goroutine; hand heavy work off.
-func (l *Live) OnDeliver(p int, fn func(Delivery)) { l.deliver(p, fn) }
+//
+// Deprecated: use Process(p).OnDeliver.
+func (l *Live) OnDeliver(p int, fn func(Delivery)) { l.Process(p).OnDeliver(fn) }
 
 // UnreliableSend issues a best-effort scattering from process p.
-func (l *Live) UnreliableSend(p int, msgs []Message) error { return l.send(p, false, msgs) }
+//
+// Deprecated: use Process(p).Send.
+func (l *Live) UnreliableSend(p int, msgs []Message) error { return l.Process(p).Send(msgs) }
 
 // ReliableSend issues a reliable scattering from process p.
-func (l *Live) ReliableSend(p int, msgs []Message) error { return l.send(p, true, msgs) }
+//
+// Deprecated: use Process(p).Send with the Reliable option.
+func (l *Live) ReliableSend(p int, msgs []Message) error {
+	return l.Process(p).Send(msgs, Reliable())
+}
 
-// Close shuts the fabric down.
-func (l *Live) Close() { l.stop() }
+// Close shuts the fabric down; subsequent sends fail with ErrClosed.
+func (l *Live) Close() { l.once.Do(l.stop) }

@@ -29,11 +29,17 @@
 //	p1.OnDeliver(func(d onepipe.Delivery) {
 //		fmt.Printf("t=%v from=%d %v\n", d.TS, d.Src, d.Data)
 //	})
-//	p0.UnreliableSend([]onepipe.Message{{Dst: 1, Data: "hello", Size: 64}})
+//	p0.Send([]onepipe.Message{{Dst: 1, Data: "hello", Size: 64}})
 //	cluster.Run(200 * onepipe.Microsecond)
+//
+// The same Process API runs unchanged on the real-time fabrics
+// (NewLiveCluster, NewUDPCluster); the Fabric interface abstracts over all
+// three deployments.
 package onepipe
 
 import (
+	"sync"
+
 	"onepipe/internal/controller"
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
@@ -81,6 +87,57 @@ const (
 // capacity.
 var ErrSendBufferFull = core.ErrSendBufferFull
 
+// ErrBackpressure matches (errors.Is) send errors returned when a
+// connection's doorbell queue is full; the concrete *BackpressureError
+// carries the earliest time a retry can drain.
+var ErrBackpressure = core.ErrBackpressure
+
+// BackpressureError is the concrete backpressure send error.
+type BackpressureError = core.BackpressureError
+
+// ErrClosed matches (errors.Is) send errors returned after a fabric or
+// host has been closed.
+var ErrClosed = core.ErrClosed
+
+// Fabric is the deployment-independent surface of a running 1Pipe fabric,
+// satisfied by the simulated *Cluster and the real-time *Live.
+type Fabric interface {
+	// Process returns the endpoint handle of process p; handles are
+	// cached, so repeated calls return the same *Process.
+	Process(p int) *Process
+	// NumProcesses returns the number of deployed processes.
+	NumProcesses() int
+	// Close shuts the fabric down; subsequent sends fail with ErrClosed.
+	Close()
+}
+
+var (
+	_ Fabric = (*Cluster)(nil)
+	_ Fabric = (*Live)(nil)
+)
+
+// SendOption refines one Send call.
+type SendOption func(*core.SendOptions)
+
+// Reliable selects reliable 1Pipe: two-phase commit, guaranteed delivery
+// unless a participant fails (then the whole scattering is recalled).
+func Reliable() SendOption {
+	return func(o *core.SendOptions) { o.Reliable = true }
+}
+
+// Batched overrides the fabric's frame-coalescing window for this
+// scattering: its fragments may wait up to window for more
+// same-destination traffic to share a wire frame with.
+func Batched(window Timestamp) SendOption {
+	return func(o *core.SendOptions) { o.BatchWindow = window }
+}
+
+// Unbatched exempts this scattering from frame coalescing; it goes to the
+// wire immediately (at the cost of one packet per message).
+func Unbatched() SendOption {
+	return func(o *core.SendOptions) { o.NoBatch = true }
+}
+
 // Config assembles a 1Pipe deployment.
 type Config struct {
 	// Topology is the Clos network to simulate; Testbed() is the paper's
@@ -103,6 +160,11 @@ type Config struct {
 	// Unified delivers both service classes in a single cross-class total
 	// order (see internal/core.DeliverUnified).
 	Unified bool
+	// BatchWindow overrides how long a partial multi-message wire frame
+	// waits for more same-destination traffic (default 1 us simulated).
+	BatchWindow Timestamp
+	// DisableBatching turns send-side frame coalescing off entirely.
+	DisableBatching bool
 	// Net, when non-nil, overrides the derived network configuration
 	// entirely (expert knob used by the experiment harness).
 	Net *netsim.Config
@@ -158,6 +220,12 @@ func NewCluster(cfg Config) *Cluster {
 	if cfg.Unified {
 		ecfg.Mode = core.DeliverUnified
 	}
+	if cfg.BatchWindow > 0 {
+		ecfg.BatchWindow = cfg.BatchWindow
+	}
+	if cfg.DisableBatching {
+		ecfg.DisableBatching = true
+	}
 	n := netsim.New(ncfg)
 	cl := core.Deploy(n, ecfg)
 	c := &Cluster{cfg: cfg, net: n, core: cl}
@@ -184,11 +252,17 @@ func (c *Cluster) Process(p int) *Process {
 		c.handles = make([]*Process, len(c.core.Procs))
 	}
 	if c.handles[p] == nil {
-		h := &Process{proc: c.core.Procs[p], cluster: c}
-		h.ensureQueue() // buffer deliveries until a callback is registered
-		c.handles[p] = h
+		c.handles[p] = newProcess(simBackend{proc: c.core.Procs[p]})
 	}
 	return c.handles[p]
+}
+
+// Close stops every host endpoint; subsequent sends fail with ErrClosed.
+// The simulated network itself needs no teardown.
+func (c *Cluster) Close() {
+	for _, h := range c.core.Hosts {
+		h.Stop()
+	}
 }
 
 // Run advances the simulated data center by d.
@@ -215,66 +289,127 @@ func (c *Cluster) KillHost(host int) {
 	c.net.G.KillNode(c.net.G.Host(host))
 }
 
-// Process is one 1Pipe endpoint, exposing the Table 1 API.
+// procBackend is the per-deployment wiring behind a Process handle: the
+// simulator pokes the endpoint directly; the real-time fabrics route
+// through their event loop or host lock.
+type procBackend interface {
+	id() ProcID
+	send(msgs []Message, o core.SendOptions) error
+	setOnDeliver(fn func(Delivery))
+	setOnDeliverBatch(fn func([]Delivery))
+	setOnSendFail(fn func(SendFailure))
+	setOnProcFail(fn func(ProcID, Timestamp))
+	now() Timestamp
+}
+
+// simBackend wires a Process to a simulated endpoint. The simulator is
+// single-threaded, so field writes need no synchronization.
+type simBackend struct{ proc *core.Proc }
+
+func (b simBackend) id() ProcID { return b.proc.ID }
+func (b simBackend) send(msgs []Message, o core.SendOptions) error {
+	return b.proc.SendOpts(msgs, o)
+}
+func (b simBackend) setOnDeliver(fn func(Delivery))          { b.proc.OnDeliver = fn }
+func (b simBackend) setOnDeliverBatch(fn func([]Delivery))   { b.proc.OnDeliverBatch = fn }
+func (b simBackend) setOnSendFail(fn func(SendFailure))      { b.proc.OnSendFail = fn }
+func (b simBackend) setOnProcFail(fn func(ProcID, Timestamp)) { b.proc.OnProcFail = fn }
+func (b simBackend) now() Timestamp                          { return b.proc.Timestamp() }
+
+// Process is one 1Pipe endpoint, exposing the Table 1 API. The same handle
+// type fronts every fabric (simulated or real-time).
 type Process struct {
-	proc    *core.Proc
-	cluster *Cluster
-	queue   *[]Delivery
+	backend procBackend
+
+	// mu guards the Poll queue: real-time fabrics append deliveries from
+	// their own goroutine while the application polls from another.
+	mu    sync.Mutex
+	queue []Delivery
+}
+
+func newProcess(b procBackend) *Process {
+	p := &Process{backend: b}
+	// Buffer deliveries for Poll until the application registers a
+	// callback of its own.
+	b.setOnDeliver(func(d Delivery) {
+		p.mu.Lock()
+		p.queue = append(p.queue, d)
+		p.mu.Unlock()
+	})
+	return p
 }
 
 // ID returns the process identifier.
-func (p *Process) ID() ProcID { return p.proc.ID }
+func (p *Process) ID() ProcID { return p.backend.id() }
+
+// Send issues a scattering: a group of messages to different destinations
+// occupying one position in the total order. The zero-option call is a
+// best-effort send with the fabric's default frame coalescing; refine it
+// with Reliable, Batched, or Unbatched. Sends can fail with
+// ErrSendBufferFull, ErrBackpressure (doorbell queue full; the error
+// carries the earliest drain time), or ErrClosed.
+func (p *Process) Send(msgs []Message, opts ...SendOption) error {
+	var o core.SendOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return p.backend.send(msgs, o)
+}
 
 // UnreliableSend issues a best-effort scattering
 // (onepipe_unreliable_send).
-func (p *Process) UnreliableSend(msgs []Message) error { return p.proc.Send(msgs) }
+//
+// Deprecated: use Send.
+func (p *Process) UnreliableSend(msgs []Message) error { return p.Send(msgs) }
 
 // ReliableSend issues a reliable scattering (onepipe_reliable_send).
-func (p *Process) ReliableSend(msgs []Message) error { return p.proc.SendReliable(msgs) }
+//
+// Deprecated: use Send with the Reliable option.
+func (p *Process) ReliableSend(msgs []Message) error { return p.Send(msgs, Reliable()) }
 
 // OnDeliver registers the delivery callback; messages arrive in
 // (timestamp, sender) total order (the push-style equivalent of
 // onepipe_unreliable_recv / onepipe_reliable_recv). Registering a callback
-// supersedes the Poll queue.
-func (p *Process) OnDeliver(fn func(Delivery)) { p.proc.OnDeliver = fn }
+// supersedes the Poll queue. On real-time fabrics the callback runs on the
+// fabric's internal goroutine; hand heavy work off.
+func (p *Process) OnDeliver(fn func(Delivery)) { p.backend.setOnDeliver(fn) }
+
+// OnDeliverBatch registers the batched delivery fast path: contiguous
+// below-barrier runs destined for this process arrive as one slice, in the
+// same total order OnDeliver would present them. It takes precedence over
+// OnDeliver. The slice is reused by the runtime after the callback
+// returns; copy deliveries out to retain them.
+func (p *Process) OnDeliverBatch(fn func([]Delivery)) { p.backend.setOnDeliverBatch(fn) }
 
 // Poll returns the next delivery in total order, pull-style — the direct
 // analogue of Table 1's recv calls. Deliveries accumulate in an internal
 // queue while neither OnDeliver nor Poll has consumed them.
 func (p *Process) Poll() (Delivery, bool) {
-	p.ensureQueue()
-	q := *p.queue
-	if len(q) == 0 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) == 0 {
 		return Delivery{}, false
 	}
-	d := q[0]
-	*p.queue = q[1:]
+	d := p.queue[0]
+	p.queue = p.queue[1:]
 	return d, true
 }
 
 // Pending reports how many deliveries are queued for Poll.
 func (p *Process) Pending() int {
-	p.ensureQueue()
-	return len(*p.queue)
-}
-
-func (p *Process) ensureQueue() {
-	if p.queue != nil {
-		return
-	}
-	q := &[]Delivery{}
-	p.queue = q
-	p.proc.OnDeliver = func(d Delivery) { *q = append(*q, d) }
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
 }
 
 // OnSendFail registers the send-failure callback
 // (onepipe_send_fail_callback).
-func (p *Process) OnSendFail(fn func(SendFailure)) { p.proc.OnSendFail = fn }
+func (p *Process) OnSendFail(fn func(SendFailure)) { p.backend.setOnSendFail(fn) }
 
 // OnProcFail registers the process-failure callback
 // (onepipe_proc_fail_callback).
-func (p *Process) OnProcFail(fn func(proc ProcID, ts Timestamp)) { p.proc.OnProcFail = fn }
+func (p *Process) OnProcFail(fn func(proc ProcID, ts Timestamp)) { p.backend.setOnProcFail(fn) }
 
 // Timestamp returns the host's current synchronized timestamp
 // (onepipe_get_timestamp).
-func (p *Process) Timestamp() Timestamp { return p.proc.Timestamp() }
+func (p *Process) Timestamp() Timestamp { return p.backend.now() }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly
+.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic
 
 all: vet test
 
@@ -56,6 +56,11 @@ chaos:
 chaos-nightly:
 	CHAOS_ARTIFACT_DIR=$${CHAOS_ARTIFACT_DIR:-chaos-artifacts} \
 	$(GO) test ./internal/chaos/ -race -run 'TestChaos' -seeds 300 -timeout 120m -v
+
+# Live-reconfiguration timeline: rolling host join + spine drain under
+# load (docs/reconfiguration.md). The notes carry pass/fail verdicts.
+elastic:
+	$(GO) run ./cmd/onepipe-bench -fig elastic
 
 examples:
 	@for ex in quickstart bank kvstore replication snapshot lockmanager; do \

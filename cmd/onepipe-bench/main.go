@@ -112,7 +112,10 @@ func realMain() int {
 	case *fig != "":
 		r, ok := experiments.Find(*fig)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *fig)
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available:\n", *fig)
+			for _, r := range experiments.Registry() {
+				fmt.Fprintf(os.Stderr, "  %-11s %s\n", r.ID, r.Title)
+			}
 			return 1
 		}
 		run(r)

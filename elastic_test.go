@@ -1,0 +1,140 @@
+package onepipe
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestFabricJoinDrainSim exercises the Fabric-level elastic membership API
+// on the simulated cluster: a host joined mid-run sends into the same total
+// order, a drained host refuses sends without tripping failure handling,
+// and delivery timestamps at an incumbent never regress across either
+// epoch change.
+func TestFabricJoinDrainSim(t *testing.T) {
+	cfg := Defaults()
+	cfg.WithController = true
+	c := NewCluster(cfg)
+	defer c.Close()
+
+	np := c.NumProcesses()
+	var got []Delivery
+	c.Process(1).OnDeliver(func(d Delivery) { got = append(got, d) })
+	send := func(p int) {
+		t.Helper()
+		if err := c.Process(p).Send([]Message{{Dst: 1, Data: p, Size: 64}}, Reliable()); err != nil {
+			t.Fatalf("send from %d: %v", p, err)
+		}
+	}
+
+	send(0)
+	c.Run(2 * Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("warm-up delivery missing: got %d", len(got))
+	}
+
+	hi, err := c.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if c.NumProcesses() != np+cfg.ProcsPerHost {
+		t.Fatalf("NumProcesses = %d after join, want %d", c.NumProcesses(), np+cfg.ProcsPerHost)
+	}
+	joined := np // ProcsPerHost=1: the new host's proc is at the tail
+	send(joined)
+	send(0)
+	c.Run(2 * Millisecond)
+	var fromJoined int
+	for _, d := range got {
+		if int(d.Src) == joined {
+			fromJoined++
+		}
+	}
+	if fromJoined != 1 {
+		t.Fatalf("deliveries from joined proc %d (host %d) = %d, want 1", joined, hi, fromJoined)
+	}
+
+	if err := c.Drain(2); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := c.Process(2).Send([]Message{{Dst: 1, Data: "x", Size: 8}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on drained host: err = %v, want ErrClosed", err)
+	}
+	if ctrl := c.Controller(); ctrl != nil && len(ctrl.Failures) != 0 {
+		t.Fatalf("graceful drain produced failure records: %+v", ctrl.Failures)
+	}
+	send(0)
+	c.Run(2 * Millisecond)
+
+	for i := 1; i < len(got); i++ {
+		if got[i].TS < got[i-1].TS {
+			t.Fatalf("delivery timestamp regressed across reconfiguration: %v after %v", got[i].TS, got[i-1].TS)
+		}
+	}
+	if n := len(got); n < 4 {
+		t.Fatalf("deliveries after drain missing: got %d", n)
+	}
+}
+
+// TestLiveJoinDrain exercises the same Fabric surface on the in-process
+// real-time fabric.
+func TestLiveJoinDrain(t *testing.T) {
+	l := NewLiveCluster(LiveConfig{Hosts: 3, ProcsPerHost: 1})
+	defer l.Close()
+
+	var mu sync.Mutex
+	var got []Delivery
+	l.Process(1).OnDeliver(func(d Delivery) {
+		mu.Lock()
+		got = append(got, d)
+		mu.Unlock()
+	})
+	count := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got)
+	}
+	waitFor := func(n int, what string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			if count() >= n {
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Fatalf("%s timed out: %d/%d deliveries", what, count(), n)
+	}
+
+	hi, err := l.Join()
+	if err != nil {
+		t.Fatalf("Join: %v", err)
+	}
+	if hi != 3 || l.NumProcesses() != 4 {
+		t.Fatalf("Join = host %d, NumProcesses = %d; want 3 and 4", hi, l.NumProcesses())
+	}
+	if err := l.Process(3).Send([]Message{{Dst: 1, Data: "joined", Size: 8}}, Reliable()); err != nil {
+		t.Fatalf("send from joined host: %v", err)
+	}
+	waitFor(1, "delivery from joined host")
+
+	if err := l.Drain(2); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := l.Process(2).Send([]Message{{Dst: 1, Data: "x", Size: 8}}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on drained host: err = %v, want ErrClosed", err)
+	}
+	if err := l.Process(0).Send([]Message{{Dst: 1, Data: "after", Size: 8}}, Reliable()); err != nil {
+		t.Fatalf("send after drain: %v", err)
+	}
+	waitFor(2, "delivery after drain")
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(got); i++ {
+		if got[i].TS < got[i-1].TS {
+			t.Fatalf("delivery timestamp regressed: %v after %v", got[i].TS, got[i-1].TS)
+		}
+	}
+}

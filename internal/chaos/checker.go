@@ -55,6 +55,23 @@ const (
 //                       carried (the §4.1 per-link barrier promise; chip
 //                       mode only). Catches in-switch stamp/wire-order
 //                       inversions directly.
+//  9. epoch-barrier   — no receiver's announced barrier pair ever
+//                       regresses across its delivery log; membership
+//                       epochs (join/drain/switch add) must leave the
+//                       aggregated minimum monotone.
+// 10. join-epoch      — every message a mid-run joined process sent
+//                       carries a timestamp at or above its effective join
+//                       epoch, at every receiver (the activation's
+//                       register-seeding promise).
+// 11. join-suffix     — a joined receiver's log agrees with every
+//                       incumbent on the relative order of their common
+//                       scatterings: the joiner delivers a suffix of the
+//                       same total order, never an interleaving of its own.
+// 12. drain-silence   — a gracefully drained process delivers nothing
+//                       after its drain completed.
+// 13. drain-no-failure — a graceful drain is a decision, not a failure: no
+//                       controller failure record may name a drained
+//                       process unless the fault schedule also crashed it.
 func Check(r *Result) []Violation {
 	var out []Violation
 	add := func(inv, format string, args ...any) {
@@ -103,7 +120,126 @@ func Check(r *Result) []Violation {
 	checkAtomicity(r, sendRec, exempt, add)
 	checkDiscardFloor(r, add)
 	checkWire(r, exempt, add)
+	checkEpochBarriers(r, add)
+	checkJoinEpoch(r, add)
+	checkJoinSuffix(r, exempt, add)
+	checkDrains(r, add)
 	return out
+}
+
+// checkEpochBarriers asserts every receiver's announced barrier pair is
+// non-decreasing along its delivery log. The netsim clamps each node's
+// aggregate, but a reconfiguration that seeded a new link's register too
+// low — or resurrected a drained one — would surface here as a regression
+// of the barrier a host had already announced.
+func checkEpochBarriers(r *Result, add func(string, string, ...any)) {
+	for pi, log := range r.Deliveries {
+		for i := 1; i < len(log); i++ {
+			a, b := log[i-1], log[i]
+			if b.BarBE < a.BarBE || b.BarC < a.BarC {
+				add("epoch-barrier",
+					"receiver %d: announced barrier regressed (be %v->%v, c %v->%v) at delivery %v",
+					pi, a.BarBE, b.BarBE, a.BarC, b.BarC, b.ID)
+			}
+		}
+	}
+}
+
+// checkJoinEpoch asserts the activation promise of every mid-run join:
+// the joining host's clock and timestamp floor were forced above the
+// effective epoch before its uplink register was admitted, so nothing it
+// ever sent may carry a timestamp below that epoch — at any receiver.
+func checkJoinEpoch(r *Result, add func(string, string, ...any)) {
+	if len(r.Joined) == 0 {
+		return
+	}
+	epoch := make(map[netsim.ProcID]sim.Time)
+	for _, ji := range r.Joined {
+		for _, pid := range ji.Procs {
+			epoch[pid] = ji.TJoin
+		}
+	}
+	for pi, log := range r.Deliveries {
+		for _, d := range log {
+			if tj, joined := epoch[d.Src]; joined && d.TS < tj {
+				add("join-epoch",
+					"receiver %d delivered ts=%v from joined proc %d below its join epoch %v (id=%v)",
+					pi, d.TS, d.Src, tj, d.ID)
+			}
+		}
+	}
+}
+
+// checkJoinSuffix asserts a joined receiver shares the incumbents' total
+// order: for every other process, the scatterings delivered at both must
+// appear in the same relative order. This is pairwise-order focused on the
+// joiners — the property the paper's epoch argument owes a host that was
+// not there when the order started.
+func checkJoinSuffix(r *Result, exempt func(MsgID) bool, add func(string, string, ...any)) {
+	for _, ji := range r.Joined {
+		for _, pid := range ji.Procs {
+			for _, sj := range classStreams(r.Plan.Mode, r.Deliveries[pid]) {
+				idx := make(map[MsgID]int, len(sj))
+				for i, d := range sj {
+					idx[d.ID] = i
+				}
+				for other := range r.Deliveries {
+					if netsim.ProcID(other) == pid {
+						continue
+					}
+					for _, so := range classStreams(r.Plan.Mode, r.Deliveries[other]) {
+						last, lastID := -1, MsgID{}
+						for _, d := range so {
+							i, common := idx[d.ID]
+							if !common || exempt(d.ID) {
+								continue
+							}
+							if i < last {
+								add("join-suffix",
+									"joined proc %d and incumbent %d disagree: %v before %v at one, after at the other",
+									pid, other, d.ID, lastID)
+								break
+							}
+							last, lastID = i, d.ID
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// checkDrains asserts the two graceful-departure properties: a drained
+// process's delivery log is frozen at the instant its drain completed, and
+// no controller failure record names it (a drain is a decision, not a
+// §5.2 failure) unless the fault schedule independently crashed its host.
+func checkDrains(r *Result, add func(string, string, ...any)) {
+	if len(r.DrainedLogLen) == 0 {
+		return
+	}
+	for pid, frozen := range r.DrainedLogLen {
+		if got := len(r.Deliveries[pid]); got != frozen {
+			add("drain-silence",
+				"drained proc %d delivered %d messages after its drain completed at %v",
+				pid, got-frozen, r.DrainedAt[pid])
+		}
+	}
+	crashedHost := make(map[int]bool)
+	for _, f := range r.Plan.Faults {
+		if f.Kind == FaultHostCrash {
+			crashedHost[f.Host] = true
+		}
+	}
+	pph := r.Plan.ProcsPerHost
+	for _, rec := range r.Failures {
+		for p := range rec.Procs {
+			if _, drained := r.DrainedLogLen[p]; drained && !crashedHost[int(p)/pph] {
+				add("drain-no-failure",
+					"controller failure record names gracefully drained proc %d (fts=%v)",
+					p, rec.Procs[p])
+			}
+		}
+	}
 }
 
 // checkWire classifies the run's wire-level barrier-promise suspects. A

@@ -93,6 +93,28 @@ func (f Fault) String() string {
 	return fmt.Sprintf("@%v ?", f.At)
 }
 
+// JoinEvent schedules an epoch-based live host join (internal/reconfig) at
+// an absolute run time: a fresh host is attached under the given rack, its
+// processes appear at the tail of the process space, and — once the join
+// epoch commits — they start running the same recorded workload as the
+// incumbents.
+type JoinEvent struct {
+	At   sim.Time
+	Pod  int
+	Rack int
+}
+
+// DrainEvent schedules a graceful departure: a host (by index) or, with
+// Switch set, a physical switch (by Phys). Unlike the fault schedule these
+// are decisions, not failures — no failure record, recall, or callback may
+// result, which the drain checkers enforce.
+type DrainEvent struct {
+	At     sim.Time
+	Host   int
+	Phys   int
+	Switch bool
+}
+
 // Workload parameterizes the seed-derived traffic mix.
 type Workload struct {
 	// Interval is the mean per-process send period.
@@ -134,6 +156,13 @@ type Plan struct {
 	// NonuniformPipeline arms the DESIGN deviation #8 regression knob in
 	// netsim — used only by the harness's own detection self-test.
 	NonuniformPipeline bool
+
+	// Joins and Drains schedule live membership changes (epoch-based
+	// reconfiguration). Seed derivation never sets them — like BatchWindow
+	// they are crafted-scenario knobs, so existing golden digests are
+	// unaffected.
+	Joins  []JoinEvent
+	Drains []DrainEvent
 }
 
 // quiesce is the post-workload tail left for every outstanding scattering

@@ -9,6 +9,7 @@ import (
 	"onepipe/internal/controller"
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
+	"onepipe/internal/reconfig"
 	"onepipe/internal/sim"
 	"onepipe/internal/topology"
 )
@@ -100,9 +101,35 @@ type Result struct {
 	// host downlinks (chip mode only); see WireSuspect.
 	WireSuspects []WireSuspect
 
+	// Joined records every host activated through a scheduled JoinEvent,
+	// with its processes and the effective join epoch (every timestamp
+	// those processes ever emit exceeds it).
+	Joined []JoinInfo
+	// DrainedLogLen snapshots each gracefully departed process's delivery
+	// log length at the instant its drain completed; the drain-silence
+	// checker requires the final log to be exactly that long.
+	DrainedLogLen map[netsim.ProcID]int
+	// DrainedAt is each drained process's departure time.
+	DrainedAt map[netsim.ProcID]sim.Time
+	// DrainedSwitches lists physical switches that completed a graceful
+	// drain.
+	DrainedSwitches []int
+	// Epochs is the controller's replicated reconfiguration-epoch log.
+	Epochs []controller.EpochRecord
+
 	ForwardedMsgs uint64
 	Stats         core.HostStats
 	NetStats      netsim.Stats
+}
+
+// JoinInfo describes one mid-run host join.
+type JoinInfo struct {
+	Host  int
+	Procs []netsim.ProcID
+	// TJoin is the effective join epoch the activation settled on.
+	TJoin sim.Time
+	// At is the activation time (epoch committed, host live).
+	At sim.Time
 }
 
 // Run executes a plan to completion and returns the recorded logs. A given
@@ -119,13 +146,21 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 	eng := net.Eng
 
 	nprocs := net.NumProcs()
+	pph := net.Cfg.ProcsPerHost
+	// The log arrays are pre-sized to the post-join process count so the
+	// recorder closures installed at activation index into stable slices;
+	// with no scheduled joins this is exactly the historical sizing, and the
+	// digest is unchanged.
+	finalProcs := nprocs + len(p.Joins)*pph
 	res := &Result{
-		Plan:         p,
-		Deliveries:   make([][]DeliveryRec, nprocs),
-		SendFails:    make(map[MsgID]map[netsim.ProcID]bool),
-		ProcFailSeen: make(map[netsim.ProcID]map[netsim.ProcID]sim.Time),
-		CorrectProc:  make([]bool, nprocs),
-		Forwarded:    make(map[MsgID]bool),
+		Plan:          p,
+		Deliveries:    make([][]DeliveryRec, finalProcs),
+		SendFails:     make(map[MsgID]map[netsim.ProcID]bool),
+		ProcFailSeen:  make(map[netsim.ProcID]map[netsim.ProcID]sim.Time),
+		CorrectProc:   make([]bool, finalProcs),
+		Forwarded:     make(map[MsgID]bool),
+		DrainedLogLen: make(map[netsim.ProcID]int),
+		DrainedAt:     make(map[netsim.ProcID]sim.Time),
 	}
 	ctrl.OnForward = func(pkt *netsim.Packet) {
 		if id, ok := pkt.Payload.(MsgID); ok {
@@ -141,10 +176,9 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 	// Only chip mode rewrites data barriers in flight, so only chip mode
 	// makes the per-packet registers meaningful.
 	chip := net.Cfg.Mode == netsim.ModeChip
-	maxBE := make([]sim.Time, len(cl.Hosts))
-	maxC := make([]sim.Time, len(cl.Hosts))
-	for hi := range cl.Hosts {
-		hi := hi
+	maxBE := make([]sim.Time, len(cl.Hosts)+len(p.Joins))
+	maxC := make([]sim.Time, len(cl.Hosts)+len(p.Joins))
+	attachProbe := func(hi int) {
 		rx := cl.Hosts[hi].HandlePacket
 		net.AttachHost(hi, func(pkt *netsim.Packet) {
 			if tap != nil {
@@ -174,11 +208,13 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			rx(pkt)
 		})
 	}
+	for hi := range cl.Hosts {
+		attachProbe(hi)
+	}
 
 	// Recorders. OnDeliver appends to the per-process log; the annotations
 	// (clock, barriers) are all deterministic functions of the event order.
-	for i := 0; i < nprocs; i++ {
-		i := i
+	installRecorders := func(i int) {
 		proc := cl.Procs[i]
 		host := cl.Hosts[net.HostOfProc(proc.ID)]
 		proc.OnDeliver = func(d core.Delivery) {
@@ -211,12 +247,18 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			}
 		}
 	}
+	for i := 0; i < nprocs; i++ {
+		installRecorders(i)
+	}
 
 	// Workload: every process runs an independent send loop off one shared,
 	// seed-derived RNG. Draw order is fixed by the deterministic event
-	// order, so the traffic replays exactly.
+	// order, so the traffic replays exactly. curProcs is the currently
+	// deployed process count — it grows at join activations, widening the
+	// destination draw to the new tail.
 	wrng := rand.New(rand.NewSource(p.Seed ^ 0x6a09e667f3bcc908))
-	seqs := make([]int32, nprocs)
+	seqs := make([]int32, finalProcs)
+	curProcs := nprocs
 	var loop func(pi int)
 	loop = func(pi int) {
 		if eng.Now() >= p.Workload.Stop {
@@ -224,14 +266,14 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 		}
 		proc := cl.Procs[pi]
 		fan := 1 + wrng.Intn(p.Workload.MaxFanout)
-		if fan > nprocs-1 {
-			fan = nprocs - 1
+		if fan > curProcs-1 {
+			fan = curProcs - 1
 		}
 		var msgs []core.Message
 		seen := map[netsim.ProcID]bool{proc.ID: true}
 		id := MsgID{Src: proc.ID, Seq: seqs[pi]}
 		for len(msgs) < fan {
-			dst := netsim.ProcID(wrng.Intn(nprocs))
+			dst := netsim.ProcID(wrng.Intn(curProcs))
 			if seen[dst] {
 				continue
 			}
@@ -262,6 +304,59 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 		pi := pi
 		// Stagger starts across one interval.
 		eng.After(sim.Time(wrng.Int63n(int64(p.Workload.Interval)))+sim.Microsecond, func() { loop(pi) })
+	}
+
+	// Membership executor: scheduled joins and graceful drains run through
+	// the epoch-based reconfiguration engine, sharing the controller's Raft
+	// log with the failure pipeline. A joined host gets the wire probe, the
+	// recorders and a workload loop of its own at activation; a drained
+	// host's log length is frozen for the drain-silence checker.
+	departed := make(map[int]bool)
+	if len(p.Joins) > 0 || len(p.Drains) > 0 {
+		reconf := reconfig.New(net, cl, ctrl, reconfig.Config{})
+		for _, j := range p.Joins {
+			j := j
+			eng.At(j.At, func() {
+				// An invalid placement is a plan-authoring error; it simply
+				// never shows up in res.Joined.
+				_, _ = reconf.JoinHost(j.Pod, j.Rack, func(_ *core.Host, eff sim.Time) {
+					hi := len(cl.Hosts) - 1 // AddHost appended just before this callback
+					attachProbe(hi)
+					info := JoinInfo{Host: hi, TJoin: eff, At: eng.Now()}
+					for pi := hi * pph; pi < (hi+1)*pph; pi++ {
+						info.Procs = append(info.Procs, netsim.ProcID(pi))
+						installRecorders(pi)
+					}
+					curProcs = len(cl.Procs)
+					res.Joined = append(res.Joined, info)
+					for _, pid := range info.Procs {
+						pi := int(pid)
+						eng.After(sim.Time(wrng.Int63n(int64(p.Workload.Interval)))+sim.Microsecond, func() { loop(pi) })
+					}
+				})
+			})
+		}
+		for _, d := range p.Drains {
+			d := d
+			if d.Switch {
+				eng.At(d.At, func() {
+					_ = reconf.DrainSwitch(d.Phys, func() {
+						res.DrainedSwitches = append(res.DrainedSwitches, d.Phys)
+					})
+				})
+				continue
+			}
+			eng.At(d.At, func() {
+				_ = reconf.DrainHost(d.Host, func() {
+					departed[d.Host] = true
+					for pi := d.Host * pph; pi < (d.Host+1)*pph; pi++ {
+						pid := netsim.ProcID(pi)
+						res.DrainedLogLen[pid] = len(res.Deliveries[pi])
+						res.DrainedAt[pid] = eng.Now()
+					}
+				})
+			})
+		}
 	}
 
 	// Fault executor: every fault is armed at an absolute engine time.
@@ -300,13 +395,18 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 
 	cl.Run(p.RunFor)
 
-	// Post-run classification and state harvest.
-	for pi := 0; pi < nprocs; pi++ {
+	// Post-run classification and state harvest. Gracefully departed hosts
+	// are not correct in the delivery-obligation sense — like a crashed
+	// host, in-flight scatterings toward them resolve via send-failure —
+	// but unlike a crash this must happen without any failure record,
+	// which checkDrains enforces separately.
+	for pi := 0; pi < net.NumProcs(); pi++ {
 		hi := net.HostOfProc(netsim.ProcID(pi))
-		res.CorrectProc[pi] = !crashed[hi] && hostConnected(net.G, net.G.Host(hi))
+		res.CorrectProc[pi] = !crashed[hi] && !departed[hi] && hostConnected(net.G, net.G.Host(hi))
 	}
 	res.PathOK = procReachability(net)
 	res.Failures = ctrl.Failures
+	res.Epochs = ctrl.Epochs
 	res.ForwardedMsgs = ctrl.ForwardedMsgs
 	res.Stats = cl.TotalStats()
 	res.NetStats = net.Stats

@@ -90,6 +90,16 @@ func (c *Clock) Now() sim.Time {
 	return t
 }
 
+// AdvanceTo forces all subsequent reads to be at least t. Live
+// reconfiguration uses it to push a joining host's clock above the join
+// epoch T_join: the host's first timestamps must not fall below the value
+// its pre-seeded link registers already promised to the fabric.
+func (c *Clock) AdvanceTo(t sim.Time) {
+	if t > c.lastRead {
+		c.lastRead = t
+	}
+}
+
 // Skew returns the clock's current deviation from true time; experiments
 // use it to report measured skew distributions.
 func (c *Clock) Skew() sim.Time {

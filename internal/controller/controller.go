@@ -57,6 +57,56 @@ type RecallRecord struct {
 	TS       sim.Time
 }
 
+// EpochOp enumerates live-reconfiguration operations.
+type EpochOp uint8
+
+const (
+	// EpochJoinHost attaches a new host to a running fabric.
+	EpochJoinHost EpochOp = iota
+	// EpochDrainHost gracefully removes a host.
+	EpochDrainHost
+	// EpochDrainSwitch gracefully removes a physical switch.
+	EpochDrainSwitch
+	// EpochAddSwitch grows a pod's spine set.
+	EpochAddSwitch
+)
+
+func (op EpochOp) String() string {
+	switch op {
+	case EpochJoinHost:
+		return "join-host"
+	case EpochDrainHost:
+		return "drain-host"
+	case EpochDrainSwitch:
+		return "drain-switch"
+	case EpochAddSwitch:
+		return "add-switch"
+	}
+	return "?"
+}
+
+// EpochRecord is the replicated decision for one membership change. Like
+// failure records, an epoch is decided exactly once and survives leader
+// changes: a host dying mid-join is resolved by the §5.2 failure path
+// against the recorded epoch (its registers were seeded at TJoin, so its
+// failure timestamp can never precede the epoch).
+type EpochRecord struct {
+	// Seq is the epoch sequence number (1-based, in decision order).
+	Seq int
+	// Op is the membership operation.
+	Op EpochOp
+	// Host is the host index joining or draining (join/drain-host ops).
+	Host int
+	// Phys is the physical switch index (drain-switch/add-switch ops).
+	Phys int
+	// TJoin is the join epoch timestamp: every input-link register of the
+	// new attachment is pre-seeded to it, and the joining host's clock is
+	// forced above it. Zero for drains.
+	TJoin sim.Time
+	// At is the decision time.
+	At sim.Time
+}
+
 // Controller coordinates failure handling for one simulated cluster.
 type Controller struct {
 	Cfg  Config
@@ -67,6 +117,7 @@ type Controller struct {
 	// Replicated state (applied from the Raft log on the leader).
 	Failures []FailureRecord
 	Recalls  []RecallRecord
+	Epochs   []EpochRecord
 
 	// In-flight detection state.
 	reports    []report
@@ -128,6 +179,8 @@ func buildRaft(net *netsim.Network, c *Controller, cfg Config) *raft.Cluster {
 			c.Failures = append(c.Failures, rec)
 		case RecallRecord:
 			c.Recalls = append(c.Recalls, rec)
+		case EpochRecord:
+			c.Epochs = append(c.Epochs, rec)
 		}
 	})
 }
@@ -180,6 +233,12 @@ func (c *Controller) determine() {
 	failed := make(map[netsim.ProcID]sim.Time)
 	for hi := 0; hi < len(g.Hosts); hi++ {
 		host := g.Host(hi)
+		if g.NodeDrained(host) {
+			// A drained (or not-yet-activated joining) host is out of the
+			// fabric by decision, not by failure: no failure timestamp, no
+			// Recall, no declaration.
+			continue
+		}
 		if c.hostConnected(host) {
 			continue
 		}
@@ -256,7 +315,7 @@ func (c *Controller) hostDeclared(hi int) bool {
 // recalled.
 func (c *Controller) hostConnected(host topology.NodeID) bool {
 	g := c.net.G
-	if g.NodeDead(host) {
+	if g.NodeDead(host) || g.NodeDrained(host) {
 		return false
 	}
 	up := false
@@ -279,11 +338,11 @@ func (c *Controller) hostConnected(host topology.NodeID) bool {
 
 const retryDelay = 1 * sim.Millisecond
 
-// replicate commits the record through the Raft store before acting on it
-// (the controller must not broadcast a decision it could forget). Failure
-// records are idempotent at hosts, so a leadership change mid-commit is
-// handled by re-proposing.
-func (c *Controller) replicate(rec FailureRecord, then func()) {
+// replicate commits a record (failure or epoch) through the Raft store
+// before acting on it (the controller must not broadcast a decision it
+// could forget). Records are idempotent at hosts, so a leadership change
+// mid-commit is handled by re-proposing.
+func (c *Controller) replicate(rec any, then func()) {
 	leader := c.Raft.Leader()
 	if leader == nil {
 		// Controller replicas electing: retry; the barrier stays stalled,
@@ -374,7 +433,7 @@ func (c *Controller) broadcast(rec FailureRecord, gated []topology.LinkID) {
 	}
 	i := 0
 	for hi, h := range c.cl.Hosts {
-		if failedHosts[hi] {
+		if failedHosts[hi] || c.net.G.NodeDrained(c.net.G.Host(hi)) {
 			continue
 		}
 		waiting++
@@ -430,7 +489,7 @@ func (c *Controller) onStuck(h *core.Host, src, dst netsim.ProcID, ts sim.Time) 
 		if leader != nil {
 			leader.Propose(rec)
 		}
-		eng.After(c.Cfg.MgmtDelay, func() { h.ResolveRecall(dst, ts) })
+		eng.After(c.Cfg.MgmtDelay, func() { h.ResolveUnreachable(dst, ts) })
 	})
 }
 
@@ -466,6 +525,23 @@ func (c *Controller) forward(h *core.Host, src, dst netsim.ProcID) {
 			eng.After(c.Cfg.MgmtDelay, func() { h.HandlePacket(ack) })
 		})
 	}
+}
+
+// ProposeEpoch durably records a membership change through the Raft store
+// and runs then once committed. The sequence number is assigned here from
+// the materialized epoch count so concurrent operations serialize in
+// decision order.
+func (c *Controller) ProposeEpoch(rec EpochRecord, then func()) {
+	rec.Seq = len(c.Epochs) + 1
+	rec.At = c.net.Eng.Now()
+	c.replicate(rec, then)
+}
+
+// AttachHost installs the stuck-message escalation hook on a host joined
+// after the controller was built (New only wires the hosts present at
+// construction).
+func (c *Controller) AttachHost(h *core.Host) {
+	h.OnStuck = func(src, dst netsim.ProcID, ts sim.Time) { c.onStuck(h, src, dst, ts) }
 }
 
 // RecoverHost replays all recorded failures and undeliverable recalls to a

@@ -24,6 +24,10 @@ type Cluster struct {
 	Net   *netsim.Network
 	Hosts []*Host
 	Procs []*Proc
+
+	// cfg is the resolved endpoint configuration Deploy used, retained so
+	// hosts joined at runtime get identical settings.
+	cfg Config
 }
 
 // Deploy attaches a lib1pipe runtime to every host of the simulated
@@ -34,7 +38,7 @@ func Deploy(n *netsim.Network, cfg Config) *Cluster {
 	cfg = cfg.withDefaults()
 	cfg.UseDataBarriers = n.Cfg.Mode == netsim.ModeChip
 	cfg.BeaconInterval = n.Cfg.BeaconInterval
-	cl := &Cluster{Net: n}
+	cl := &Cluster{Net: n, cfg: cfg}
 	for hi := 0; hi < len(n.G.Hosts); hi++ {
 		h := NewHost(hi, simWire{n: n, host: hi}, cfg)
 		n.AttachHost(hi, h.HandlePacket)
@@ -50,6 +54,28 @@ func Deploy(n *netsim.Network, cfg Config) *Cluster {
 
 // Proc returns process p's endpoint.
 func (cl *Cluster) Proc(p int) *Proc { return cl.Procs[p] }
+
+// AddHost attaches a lib1pipe runtime to host hi of an already-running
+// fabric (the network must have grown its state first) and registers its
+// process block. floor is the join epoch T_join: the host's clock reads
+// and timestamps are forced above it before the first beacon, so nothing
+// this host ever emits can fall below what its pre-seeded link registers
+// promised. Returns the new host; its procs append to cl.Procs in ID
+// order.
+func (cl *Cluster) AddHost(hi int, floor sim.Time) *Host {
+	n := cl.Net
+	n.Clocks[hi].AdvanceTo(floor)
+	h := NewHost(hi, simWire{n: n, host: hi}, cl.cfg)
+	h.SetFloor(floor)
+	n.AttachHost(hi, h.HandlePacket)
+	h.Start()
+	cl.Hosts = append(cl.Hosts, h)
+	pph := n.Cfg.ProcsPerHost
+	for p := hi * pph; p < (hi+1)*pph; p++ {
+		cl.Procs = append(cl.Procs, h.AddProc(netsim.ProcID(p)))
+	}
+	return h
+}
 
 // EnableTracing installs a fresh lifecycle tracer on every host and returns
 // them (index == host index) for obs.Merge after the run. Call before

@@ -137,6 +137,10 @@ type Host struct {
 	beaconTimer    *timer
 	lastUplinkSend sim.Time
 	stopped        bool
+	// draining refuses new sends while the window flushes — the first
+	// phase of a graceful leave. Unlike stopped, timers keep running so
+	// outstanding scatterings can complete and ACKs still flow.
+	draining bool
 	// reprProc identifies this host on substrates that key uplink barrier
 	// registers by packet source (e.g. the UDP switch): beacons and
 	// commit messages carry it as Src.
@@ -223,6 +227,56 @@ func (h *Host) Start() {
 	h.beaconTimer = newTimer(h.wire, h.beaconTick)
 	h.beaconTimer.reset(h.Cfg.BeaconInterval)
 }
+
+// SetFloor forces the host's timestamping state to at least t: the next
+// message timestamp and the advertised commit floor both start above it.
+// Live reconfiguration calls this on a joining host with the epoch T_join,
+// honoring the promise its pre-seeded link registers already made — no
+// message from this host may ever carry a timestamp at or below T_join.
+func (h *Host) SetFloor(t sim.Time) {
+	if t > h.lastTS {
+		h.lastTS = t
+	}
+	if t > h.advertisedC {
+		h.advertisedC = t
+	}
+}
+
+// Drain begins a graceful leave: new sends are refused with ErrClosed, but
+// beacons, retransmissions and ACKs keep running until every outstanding
+// scattering, queued frame and recall has flushed. done fires once the
+// window is empty; the caller then detaches the host from aggregation and
+// calls Stop. Distinct from failure: no failure timestamp is assigned, no
+// Recall is initiated and no OnStuck report is generated by the drain
+// itself.
+func (h *Host) Drain(done func()) {
+	if h.stopped {
+		done()
+		return
+	}
+	h.draining = true
+	var poll func()
+	poll = func() {
+		if h.stopped {
+			return
+		}
+		// Send-side state only: receiver duties (ACK coalescing, held
+		// deliveries) are continuously refilled by peers still sending and
+		// run until Stop; a scattering the departing host never finished
+		// acknowledging is recalled at its sender, which is the same
+		// outcome an ignored ACK would produce.
+		if len(h.outstanding) == 0 && len(h.waitQ) == 0 && len(h.holding) == 0 &&
+			len(h.recalls) == 0 {
+			done()
+			return
+		}
+		h.wire.After(h.Cfg.BeaconInterval, poll)
+	}
+	poll()
+}
+
+// Draining reports whether a graceful leave is in progress.
+func (h *Host) Draining() bool { return h.draining }
 
 // Stop halts beacon generation and timers; the host no longer participates.
 func (h *Host) Stop() {
@@ -427,6 +481,9 @@ func (h *Host) send(p *Proc, msgs []Message, o SendOptions) error {
 	}
 	if h.stopped {
 		return fmt.Errorf("onepipe: host %d stopped: %w", h.ID, ErrClosed)
+	}
+	if h.draining {
+		return fmt.Errorf("onepipe: host %d draining: %w", h.ID, ErrClosed)
 	}
 	if len(h.waitQ) >= sendBufCap {
 		return ErrSendBufferFull

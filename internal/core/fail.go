@@ -179,11 +179,22 @@ func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
 // to discard it, and once all recall ACKs arrive the scattering stops
 // blocking the commit floor.
 func (h *Host) abortScattering(s *scattering) {
+	h.abortScatteringExcept(s, netsim.ProcID(-1))
+}
+
+// abortScatteringExcept is abortScattering with one destination exempted
+// from the recall round-trip: the controller resolving an unreachable
+// receiver has already recorded its tombstone durably, so sending it a
+// recall could only stall for another MaxRetx round.
+func (h *Host) abortScatteringExcept(s *scattering, noRecall netsim.ProcID) {
 	s.aborted = true
 	h.Stats.Recalled++
 	for i := range s.msgs {
 		dst := s.msgs[i].Dst
 		h.failMessage(s, i)
+		if dst == noRecall {
+			continue
+		}
 		if _, dead := h.failedPeers[dst]; dead {
 			continue
 		}
@@ -338,6 +349,40 @@ func (h *Host) ResolveRecall(dst netsim.ProcID, ts sim.Time) {
 		return
 	}
 	h.finishRecall(rk, rs)
+}
+
+// ResolveUnreachable releases the sender of a scattering stuck toward an
+// unreachable — typically drained — destination after the controller has
+// durably recorded the recall tombstone. If the stall had already
+// escalated to an active recall this is ResolveRecall; otherwise the
+// still-outstanding scattering is aborted here: every other receiver is
+// recalled normally, no recall is sent to dst itself, and the sender
+// observes the ordinary send-failure callbacks. Without this, a data
+// packet that exhausted MaxRetx toward a departed host would park its
+// scattering on the commit floor forever.
+func (h *Host) ResolveUnreachable(dst netsim.ProcID, ts sim.Time) {
+	rk := recallKey{dst: dst, ts: ts}
+	if rs, ok := h.recalls[rk]; ok {
+		h.finishRecall(rk, rs)
+		return
+	}
+	for _, s := range h.outstanding {
+		if s.ts != ts || s.done || s.aborted {
+			continue
+		}
+		hit := false
+		for i := range s.msgs {
+			if s.msgs[i].Dst == dst {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			continue
+		}
+		h.abortScatteringExcept(s, dst)
+		return
+	}
 }
 
 func (h *Host) handleRecallAck(pkt *netsim.Packet) {

@@ -61,14 +61,19 @@ func DefaultConfig(hosts, procsPerHost int) Config {
 
 // Net is a running live fabric.
 type Net struct {
-	cfg   Config
-	loop  chan func()
-	done  chan struct{}
-	wg    sync.WaitGroup
+	cfg  Config
+	ecfg core.Config // resolved endpoint config, reused by runtime joins
+	loop chan func()
+	done chan struct{}
+	wg   sync.WaitGroup
 	start time.Time
 
 	hosts []*core.Host
 	procs []*core.Proc
+	// drained marks hosts that have gracefully left: their uplink register
+	// is excluded from aggregation and the switch drops traffic toward
+	// them. Touched only on the loop.
+	drained []bool
 
 	// Switch state: per-host-uplink barrier registers.
 	regBE, regC []sim.Time
@@ -124,10 +129,7 @@ func New(cfg Config) *Net {
 		loop:  make(chan func(), 4096),
 		done:  make(chan struct{}),
 		start: time.Now(),
-		regBE:   make([]sim.Time, cfg.Hosts),
-		regC:    make([]sim.Time, cfg.Hosts),
-		rng:     rand.New(rand.NewSource(seed)),
-		lastFwd: make([]time.Time, cfg.Hosts),
+		rng:   rand.New(rand.NewSource(seed)),
 	}
 	n.wg.Add(1)
 	go n.run()
@@ -143,20 +145,12 @@ func New(cfg Config) *Net {
 	ecfg.RTO = 20 * sim.Time(cfg.LinkDelay)
 	ecfg.SendFailTimeout = 100 * sim.Time(cfg.LinkDelay)
 
+	n.ecfg = ecfg
+
 	ready := make(chan struct{})
 	n.post(func() {
 		for h := 0; h < cfg.Hosts; h++ {
-			host := core.NewHost(h, hostWire{n: n, host: h}, ecfg)
-			if cfg.Trace {
-				host.Obs = obs.NewTrace()
-				n.traces = append(n.traces, host.Obs)
-			}
-			n.hosts = append(n.hosts, host)
-			host.Start()
-			for p := 0; p < cfg.ProcsPerHost; p++ {
-				id := netsim.ProcID(h*cfg.ProcsPerHost + p)
-				n.procs = append(n.procs, host.AddProc(id))
-			}
+			n.addHost()
 		}
 		close(ready)
 	})
@@ -214,9 +208,106 @@ func (n *Net) post(fn func()) {
 	}
 }
 
+// addHost creates host len(n.hosts) on the loop: lib1pipe runtime, stuck
+// hook, procs, and a fresh uplink register pair seeded at the current
+// aggregate (everything a live host emits from now on carries at least
+// that barrier, so admitting the link can never regress the minimum).
+func (n *Net) addHost() *core.Host {
+	hi := len(n.hosts)
+	be, c := n.aggregate()
+	eff := be
+	if c > eff {
+		eff = c
+	}
+	n.regBE = append(n.regBE, eff)
+	n.regC = append(n.regC, eff)
+	n.lastFwd = append(n.lastFwd, time.Time{})
+	n.drained = append(n.drained, false)
+	host := core.NewHost(hi, hostWire{n: n, host: hi}, n.ecfg)
+	if n.cfg.Trace {
+		host.Obs = obs.NewTrace()
+		n.traces = append(n.traces, host.Obs)
+	}
+	// All hosts share the wall clock, so the floor force is trivially
+	// satisfied; setting it keeps the register promise independent of
+	// that reasoning. The stuck hook is the degenerate controller: a
+	// scattering stuck toward a drained host resolves as send-failure.
+	host.SetFloor(n.Now())
+	host.OnStuck = func(src, dst netsim.ProcID, ts sim.Time) {
+		n.post(func() {
+			dh := int(dst) / n.cfg.ProcsPerHost
+			if dh >= 0 && dh < len(n.drained) && n.drained[dh] {
+				host.ResolveUnreachable(dst, ts)
+			}
+		})
+	}
+	n.hosts = append(n.hosts, host)
+	host.Start()
+	for p := 0; p < n.cfg.ProcsPerHost; p++ {
+		id := netsim.ProcID(hi*n.cfg.ProcsPerHost + p)
+		n.procs = append(n.procs, host.AddProc(id))
+	}
+	return host
+}
+
+// Join attaches a new host to the running fabric and returns its index.
+// Its procs occupy the next ProcsPerHost process IDs.
+func (n *Net) Join() int {
+	var hi int
+	n.Do(func() { hi = len(n.hosts); n.addHost() })
+	return hi
+}
+
+// Drain gracefully removes a host: sends are refused immediately, the
+// send window flushes, then the host leaves aggregation and stops.
+// Blocks until the drain completes. Peers' stuck sends toward the
+// departed host resolve via send-failure.
+func (n *Net) Drain(host int) error {
+	errc := make(chan error, 1)
+	fin := make(chan struct{})
+	n.post(func() {
+		if host < 0 || host >= len(n.hosts) {
+			errc <- fmt.Errorf("livenet: no such host %d", host)
+			close(fin)
+			return
+		}
+		if n.drained[host] {
+			errc <- fmt.Errorf("livenet: host %d already drained", host)
+			close(fin)
+			return
+		}
+		h := n.hosts[host]
+		errc <- nil
+		h.Drain(func() {
+			n.drained[host] = true
+			h.Stop()
+			close(fin)
+		})
+	})
+	if err := <-errc; err != nil {
+		return err
+	}
+	select {
+	case <-fin:
+	case <-n.done:
+	}
+	return nil
+}
+
+// Drained reports whether a host has gracefully left.
+func (n *Net) Drained(host int) bool {
+	var d bool
+	n.Do(func() { d = host >= 0 && host < len(n.drained) && n.drained[host] })
+	return d
+}
+
 // switchReceive executes eq. 4.1 for a packet arriving on a host uplink
 // and forwards it toward its destination host.
 func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
+	if n.drained[fromHost] {
+		netsim.PutPacket(pkt) // straggler from a departed host
+		return
+	}
 	if pkt.BarrierBE > n.regBE[fromHost] {
 		n.regBE[fromHost] = pkt.BarrierBE
 	}
@@ -235,7 +326,7 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 	be, c := n.aggregate()
 	pkt.BarrierBE, pkt.BarrierC = be, c
 	dstHost := int(pkt.Dst) / n.cfg.ProcsPerHost
-	if dstHost < 0 || dstHost >= len(n.hosts) {
+	if dstHost < 0 || dstHost >= len(n.hosts) || n.drained[dstHost] {
 		netsim.PutPacket(pkt)
 		return
 	}
@@ -246,8 +337,17 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 }
 
 func (n *Net) aggregate() (be, c sim.Time) {
-	minBE, minC := n.regBE[0], n.regC[0]
-	for i := 1; i < len(n.regBE); i++ {
+	first := true
+	var minBE, minC sim.Time
+	for i := 0; i < len(n.regBE); i++ {
+		if n.drained[i] {
+			continue // departed for good: its parked register must not cap the minimum
+		}
+		if first {
+			minBE, minC = n.regBE[i], n.regC[i]
+			first = false
+			continue
+		}
 		if n.regBE[i] < minBE {
 			minBE = n.regBE[i]
 		}
@@ -255,11 +355,13 @@ func (n *Net) aggregate() (be, c sim.Time) {
 			minC = n.regC[i]
 		}
 	}
-	if minBE > n.outBE {
-		n.outBE = minBE
-	}
-	if minC > n.outC {
-		n.outC = minC
+	if !first {
+		if minBE > n.outBE {
+			n.outBE = minBE
+		}
+		if minC > n.outC {
+			n.outC = minC
+		}
 	}
 	return n.outBE, n.outC
 }
@@ -270,6 +372,9 @@ func (n *Net) relayBeacons() {
 	be, c := n.aggregate()
 	for h := range n.hosts {
 		h := h
+		if n.drained[h] {
+			continue
+		}
 		if !n.hosts[h].Cfg.DisablePiggyback &&
 			time.Since(n.lastFwd[h]) < n.cfg.BeaconInterval {
 			continue

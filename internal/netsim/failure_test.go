@@ -125,3 +125,146 @@ func TestDisableBeacons(t *testing.T) {
 		t.Fatalf("%d beacons sent with beacons disabled", n.Stats.PktsByKind[KindBeacon])
 	}
 }
+
+// TestDrainedLinkNotReportedDead is the graceful-leave regression test: a
+// drained link goes silent by design, and the dead-link scanner must never
+// turn that silence — or straggler beacons still in flight — into a false
+// failure report to the controller.
+func TestDrainedLinkNotReportedDead(t *testing.T) {
+	cfg := smallCfg()
+	cfg.ControllerManagedCommit = true
+	n := testNet(t, cfg)
+	reports := map[topology.LinkID]int{}
+	n.OnLinkDead = func(l topology.Link, _ sim.Time) { reports[l.ID]++ }
+	var barrier sim.Time
+	regressions := 0
+	n.AttachHost(7, func(p *Packet) {
+		if p.BarrierBE < barrier {
+			regressions++
+		}
+		if p.BarrierBE > barrier {
+			barrier = p.BarrierBE
+		}
+	})
+	n.Eng.RunUntil(300 * sim.Microsecond)
+	host := n.G.Host(0)
+	var drained []topology.LinkID
+	for _, lid := range n.G.Out[host] {
+		drained = append(drained, lid)
+	}
+	for _, lid := range n.G.In[host] {
+		drained = append(drained, lid)
+	}
+	n.G.DrainNode(host)
+	for _, lid := range drained {
+		n.DrainLink(lid)
+	}
+	// testNet's beacon ticker for host 0 keeps firing: those stragglers
+	// arrive on a drained link and must not resurrect it.
+	n.Eng.RunUntil(1500 * sim.Microsecond)
+	for _, lid := range drained {
+		if c := reports[lid]; c != 0 {
+			t.Fatalf("drained link %d got %d dead-link reports", lid, c)
+		}
+		if !n.LinkDrained(lid) {
+			t.Fatalf("link %d lost its drain mark", lid)
+		}
+	}
+	if len(n.CommitGatedLinks()) != 0 {
+		t.Fatalf("drain left commit-gated links: %v", n.CommitGatedLinks())
+	}
+	if regressions != 0 {
+		t.Fatalf("%d barrier regressions at a live host after drain", regressions)
+	}
+	if barrier < 1200*sim.Microsecond {
+		t.Fatalf("barrier stalled at %v after drain — drained registers still aggregated", barrier)
+	}
+	// Contrast: an actual death on the same fabric still gets reported.
+	n.G.KillNode(n.G.Host(1))
+	n.Eng.RunUntil(2500 * sim.Microsecond)
+	killed := n.G.Out[n.G.Host(1)][0]
+	if reports[killed] == 0 {
+		t.Fatal("killed host's uplink never reported dead — scanner over-suppressed")
+	}
+}
+
+// TestGrowAndAdmitHost exercises runtime growth end to end at the netsim
+// layer: topology AddHost + Grow mid-traffic (pointer stability of
+// scheduled events), two-phase admit with register seeding at the join
+// epoch, and delivery to the joined host without any barrier regression
+// at incumbents.
+func TestGrowAndAdmitHost(t *testing.T) {
+	cfg := smallCfg()
+	n := testNet(t, cfg)
+	var barrier sim.Time
+	regressions := 0
+	n.AttachHost(7, func(p *Packet) {
+		if p.BarrierBE < barrier {
+			regressions++
+		}
+		if p.BarrierBE > barrier {
+			barrier = p.BarrierBE
+		}
+	})
+	reports := 0
+	n.OnLinkDead = func(topology.Link, sim.Time) { reports++ }
+	n.Eng.RunUntil(300 * sim.Microsecond)
+
+	id, links, err := n.G.AddHost(0, 0)
+	if err != nil {
+		t.Fatalf("AddHost: %v", err)
+	}
+	n.G.DrainNode(id) // prepare: invisible to routing until activate
+	added := n.Grow()
+	if len(added) != len(links) {
+		t.Fatalf("Grow added %d links, want %d", len(added), len(links))
+	}
+	hi := n.G.HostIndex(id)
+	if hi != 8 {
+		t.Fatalf("HostIndex = %d, want 8", hi)
+	}
+	if n.NumProcs() != 9*cfg.ProcsPerHost {
+		t.Fatalf("NumProcs = %d after growth", n.NumProcs())
+	}
+	// Prepared-but-unadmitted links sit outside aggregation and the
+	// scanner: running here must neither stall barriers nor raise reports.
+	n.Eng.RunUntil(900 * sim.Microsecond)
+	if reports != 0 {
+		t.Fatalf("%d dead-link reports from unadmitted links", reports)
+	}
+	if barrier < 600*sim.Microsecond {
+		t.Fatalf("barrier stalled at %v with prepared links", barrier)
+	}
+
+	// Activate: seed at the join epoch, force the clock, beacon, deliver.
+	tj := n.MaxBarrier() + 2*sim.Microsecond
+	n.Clocks[hi].AdvanceTo(tj)
+	n.G.UndrainNode(id)
+	for _, lid := range links {
+		n.AdmitLink(lid, tj, tj)
+	}
+	var got []*Packet
+	n.AttachHost(hi, func(p *Packet) {
+		if p.Kind == KindData {
+			got = append(got, p)
+		}
+	})
+	sim.NewTicker(n.Eng, cfg.BeaconInterval, 0, func() {
+		now := n.Clocks[hi].Now()
+		n.SendFromHost(hi, &Packet{Kind: KindBeacon, BarrierBE: now, BarrierC: now, Size: BeaconBytes})
+	})
+	n.SendFromHost(0, &Packet{Kind: KindData, Src: 0, Dst: ProcID(hi * cfg.ProcsPerHost), MsgTS: tj, BarrierBE: tj, Size: 128, Payload: "welcome"})
+	n.Eng.RunUntil(1600 * sim.Microsecond)
+	if len(got) != 1 {
+		t.Fatalf("joined host received %d data packets, want 1", len(got))
+	}
+	if regressions != 0 {
+		t.Fatalf("%d barrier regressions at incumbent after admit", regressions)
+	}
+	if barrier < 1300*sim.Microsecond {
+		t.Fatalf("barrier stalled at %v after admit", barrier)
+	}
+	if reports != 0 {
+		t.Fatalf("%d dead-link reports during a clean join", reports)
+	}
+}

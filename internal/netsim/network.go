@@ -76,6 +76,11 @@ type linkState struct {
 	// cluster-wide barrier forever (§5.2: a failed process's links leave
 	// the aggregation tree).
 	excludedC bool
+	// drained marks a link gracefully removed from (or not yet admitted
+	// to) aggregation by live reconfiguration. Unlike death, the dead-link
+	// scanner must never report it, and straggler packet arrivals must not
+	// resurrect it — a drain is a membership change, not a failure.
+	drained bool
 }
 
 type nodeState struct {
@@ -101,8 +106,12 @@ type Network struct {
 	Clocks []*clock.Clock // one per host
 	Stats  Stats
 
-	links []linkState
-	nodes []nodeState
+	// links and nodes hold pointers, not values: scheduled events and
+	// beacon-ticker closures capture *linkState/*nodeState, and Grow
+	// appends at runtime — a value slice would invalidate every captured
+	// pointer on reallocation.
+	links []*linkState
+	nodes []*nodeState
 	// hostRx receives every packet (including beacons) delivered to a host.
 	hostRx []func(*Packet)
 	rng    *rand.Rand
@@ -162,24 +171,30 @@ func New(cfg Config) *Network {
 	for i := 0; i < len(g.Hosts); i++ {
 		n.Clocks = append(n.Clocks, clock.New(eng, eng.Rand(), cfg.Clock))
 	}
-	n.links = make([]linkState, len(g.Links))
+	n.links = make([]*linkState, len(g.Links))
 	for i, l := range g.Links {
-		ls := &n.links[i]
-		ls.id, ls.kind, ls.from, ls.to = l.ID, l.Kind, l.From, l.To
-		ls.prop = n.propOf(l.Kind)
-		ls.bpns = n.bandwidthOf(l.Kind)
+		ls := n.newLinkState(l)
 		ls.alive = true
 		ls.aliveC = true
+		n.links[i] = ls
 	}
-	n.nodes = make([]nodeState, len(g.Nodes))
+	n.nodes = make([]*nodeState, len(g.Nodes))
 	for i := range g.Nodes {
-		n.nodes[i] = nodeState{id: topology.NodeID(i), in: g.In[i], out: g.Out[i]}
+		n.nodes[i] = &nodeState{id: topology.NodeID(i), in: g.In[i], out: g.Out[i]}
 	}
 	if !cfg.DisableBeacons {
 		n.startSwitchBeacons()
 	}
 	n.startDeadLinkScanner()
 	return n
+}
+
+func (n *Network) newLinkState(l topology.Link) *linkState {
+	return &linkState{
+		id: l.ID, kind: l.Kind, from: l.From, to: l.To,
+		prop: n.propOf(l.Kind),
+		bpns: n.bandwidthOf(l.Kind),
+	}
 }
 
 func (n *Network) propOf(k topology.LinkKind) sim.Time {
@@ -233,7 +248,7 @@ func (n *Network) AttachHost(host int, rx func(*Packet)) { n.hostRx[host] = rx }
 // uplink returns the host's single uplink.
 func (n *Network) uplink(host int) *linkState {
 	out := n.G.Out[n.G.Host(host)]
-	return &n.links[out[0]]
+	return n.links[out[0]]
 }
 
 // SendFromHost injects a packet from a host into the network, charging host
@@ -322,30 +337,34 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		return
 	}
 	now := n.Eng.Now()
-	l.lastRx = now
-	l.alive = true
-	if !l.excludedC {
-		l.aliveC = true
-	}
-	// Update the per-input-link barrier registers (§4.1). With a
-	// programmable chip every packet carries per-link-valid barriers
-	// (rewritten each hop). With switch-CPU or host-delegate processing
-	// the chip forwards data untouched, so data barriers are only valid
-	// on the first (host) link; registers advance from beacons and commit
-	// messages alone, matching §6.2.2.
-	if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip {
-		if pkt.BarrierBE > l.regBE {
-			l.regBE = pkt.BarrierBE
+	if !l.drained {
+		l.lastRx = now
+		l.alive = true
+		if !l.excludedC {
+			l.aliveC = true
 		}
-		if pkt.BarrierC > l.regC {
-			l.regC = pkt.BarrierC
+		// Update the per-input-link barrier registers (§4.1). With a
+		// programmable chip every packet carries per-link-valid barriers
+		// (rewritten each hop). With switch-CPU or host-delegate processing
+		// the chip forwards data untouched, so data barriers are only valid
+		// on the first (host) link; registers advance from beacons and commit
+		// messages alone, matching §6.2.2. A drained link skips all of this:
+		// straggler arrivals must not re-admit it to aggregation, and its
+		// registers are pinned at DrainedRegister.
+		if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip {
+			if pkt.BarrierBE > l.regBE {
+				l.regBE = pkt.BarrierBE
+			}
+			if pkt.BarrierC > l.regC {
+				l.regC = pkt.BarrierC
+			}
 		}
 	}
 
 	dst := n.G.Node(l.to)
 	if dst.Kind == topology.KindHost {
 		n.Stats.Delivered++
-		host := n.hostIndexOf(l.to)
+		host := n.G.HostIndex(l.to)
 		if rx := n.hostRx[host]; rx != nil {
 			// Ownership transfers to the host layer: core's receive path
 			// releases the packet once it is terminally consumed.
@@ -361,7 +380,7 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	// this fires about once per interval per node and keeps the idle
 	// barrier lag near one beacon interval end to end rather than one
 	// interval per hop.
-	node := &n.nodes[l.to]
+	node := n.nodes[l.to]
 	be, c := n.nodeBarriers(node)
 	if !n.Cfg.DisableBeacons && !n.Cfg.DisableEventRelay && (be > node.lastRelayBE || c > node.lastRelayC) {
 		n.scheduleRelays(node)
@@ -411,12 +430,7 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	if n.Cfg.NonuniformPipeline && l.kind == topology.LinkLoopback {
 		fwd = 0 // chaos-harness self-test: the pre-fix nonuniform pipeline
 	}
-	n.Eng.After2(fwd, n.transmitFn, &n.links[out], pkt)
-}
-
-func (n *Network) hostIndexOf(id topology.NodeID) int {
-	// Hosts are created first, so node ID == host index.
-	return int(id)
+	n.Eng.After2(fwd, n.transmitFn, n.links[out], pkt)
 }
 
 // nodeBarriers computes the per-plane min over live input links, clamped
@@ -425,7 +439,7 @@ func (n *Network) nodeBarriers(node *nodeState) (be, c sim.Time) {
 	firstBE, firstC := true, true
 	var minBE, minC sim.Time
 	for _, lid := range node.in {
-		l := &n.links[lid]
+		l := n.links[lid]
 		// Best-effort plane: a link removed by the scanner or dead in the
 		// topology stops contributing. Commit plane: the last register of
 		// a dead link keeps gating the min until the controller's Resume
@@ -456,7 +470,7 @@ func (n *Network) nodeBarriers(node *nodeState) (be, c sim.Time) {
 // NodeBarriers exposes a switch's current aggregated barriers (used by the
 // controller to read last-commit state during failure handling).
 func (n *Network) NodeBarriers(id topology.NodeID) (be, c sim.Time) {
-	return n.nodeBarriers(&n.nodes[id])
+	return n.nodeBarriers(n.nodes[id])
 }
 
 // LinkRegisters exposes an input link's barrier registers.
@@ -489,12 +503,12 @@ func (n *Network) beaconProcDelay() sim.Time {
 // so the stamp is always fresh at capture.
 func (n *Network) scheduleRelays(node *nodeState) {
 	for _, lid := range node.out {
-		n.armRelay(node, &n.links[lid])
+		n.armRelay(node, n.links[lid])
 	}
 }
 
 func (n *Network) armRelay(node *nodeState, ls *linkState) {
-	if ls.beaconPending || n.G.LinkDead(ls.id) {
+	if ls.beaconPending || ls.drained || n.G.LinkDead(ls.id) {
 		return
 	}
 	ls.beaconPending = true
@@ -514,7 +528,7 @@ func (n *Network) armRelay(node *nodeState, ls *linkState) {
 // traffic needs no beacon (§4.2: beacons are for idle links only).
 func (n *Network) fireBeacon(node *nodeState, ls *linkState, be, c sim.Time) {
 	ls.beaconPending = false
-	if n.G.LinkDead(ls.id) || n.G.NodeDead(node.id) {
+	if ls.drained || n.G.LinkDead(ls.id) || n.G.NodeDead(node.id) {
 		return
 	}
 	now := n.Eng.Now()
@@ -539,33 +553,38 @@ func (n *Network) fireBeacon(node *nodeState, ls *linkState, be, c sim.Time) {
 // common case; the ticker guarantees liveness after beacon loss or when
 // upstream barriers stall.
 func (n *Network) startSwitchBeacons() {
-	for i := range n.links {
-		ls := &n.links[i]
+	for _, ls := range n.links {
 		if n.G.Node(ls.from).Kind == topology.KindHost {
 			continue // host beacons are generated by the attached 1Pipe endpoint
 		}
-		node := &n.nodes[ls.from]
-		tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
-			if n.G.NodeDead(ls.from) {
-				return
-			}
-			// Pure liveness fallback: stay out of the way of the
-			// event-driven relay wave, which self-clocks at one beacon
-			// per interval — competing with it would steal its
-			// rate-limit slot and add a full interval of barrier lag.
-			// (With event relays ablated away, the ticker IS the relay
-			// and runs every interval, as the paper describes.)
-			holdoff := 2 * n.Cfg.BeaconInterval
-			if n.Cfg.DisableEventRelay {
-				holdoff = n.Cfg.BeaconInterval
-			}
-			if n.Eng.Now()-ls.lastBeaconTx < holdoff {
-				return
-			}
-			n.armRelay(node, ls)
-		})
-		n.tickers = append(n.tickers, tk)
+		n.armSwitchBeaconTicker(ls)
 	}
+}
+
+// armSwitchBeaconTicker arms the fallback beacon ticker of one switch
+// egress link; Grow calls it for links appended at runtime.
+func (n *Network) armSwitchBeaconTicker(ls *linkState) {
+	node := n.nodes[ls.from]
+	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
+		if n.G.NodeDead(ls.from) {
+			return
+		}
+		// Pure liveness fallback: stay out of the way of the
+		// event-driven relay wave, which self-clocks at one beacon
+		// per interval — competing with it would steal its
+		// rate-limit slot and add a full interval of barrier lag.
+		// (With event relays ablated away, the ticker IS the relay
+		// and runs every interval, as the paper describes.)
+		holdoff := 2 * n.Cfg.BeaconInterval
+		if n.Cfg.DisableEventRelay {
+			holdoff = n.Cfg.BeaconInterval
+		}
+		if n.Eng.Now()-ls.lastBeaconTx < holdoff {
+			return
+		}
+		n.armRelay(node, ls)
+	})
+	n.tickers = append(n.tickers, tk)
 }
 
 // startDeadLinkScanner arms the per-switch input-link timeout (§4.2):
@@ -578,13 +597,16 @@ func (n *Network) startDeadLinkScanner() {
 	timeout := sim.Time(n.Cfg.DeadLinkBeacons) * n.Cfg.BeaconInterval
 	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
 		now := n.Eng.Now()
-		for i := range n.links {
-			l := &n.links[i]
+		for _, l := range n.links {
 			// Host-terminating links are scanned too: §4.2's detection runs
 			// in lib1pipe's polling thread as much as in switches, and a
 			// host whose downlink went silent must be reported so the
-			// controller can fail it (it will never deliver again).
-			if !l.alive {
+			// controller can fail it (it will never deliver again). A
+			// drained link is silent by design — graceful departure must
+			// never masquerade as a failure, so it is skipped before the
+			// timeout check rather than relying on alive alone (a straggler
+			// cannot resurrect it either; receive checks drained too).
+			if l.drained || !l.alive {
 				continue
 			}
 			if now-l.lastRx > timeout {
@@ -594,7 +616,7 @@ func (n *Network) startDeadLinkScanner() {
 				}
 				// Removing the slowest input usually advances the min:
 				// relay the unblocked barrier immediately (§4.2).
-				n.scheduleRelays(&n.nodes[l.to])
+				n.scheduleRelays(n.nodes[l.to])
 				if n.OnLinkDead != nil {
 					n.OnLinkDead(n.G.Link(l.id), l.regC)
 				}
@@ -621,15 +643,14 @@ func (n *Network) EnableObs(interval sim.Time) *obs.Trace {
 	n.Obs = obs.NewTrace()
 	tk := sim.NewTicker(n.Eng, interval, 0, func() {
 		now := n.Eng.Now()
-		for i := range n.nodes {
-			node := &n.nodes[i]
-			if n.G.Node(node.id).Kind == topology.KindHost || n.G.NodeDead(node.id) {
+		for _, node := range n.nodes {
+			if n.G.Node(node.id).Kind == topology.KindHost || n.G.NodeDead(node.id) || n.G.NodeDrained(node.id) {
 				continue
 			}
 			n.Obs.Rec(obs.SpanSwitchLagBE, now-node.outBE)
 			n.Obs.Rec(obs.SpanSwitchLagC, now-node.outC)
 			for _, lid := range node.out {
-				l := &n.links[lid]
+				l := n.links[lid]
 				depth := l.busy - now
 				if depth < 0 {
 					depth = 0
@@ -647,8 +668,7 @@ func (n *Network) EnableObs(interval sim.Time) *obs.Trace {
 // Resume step.
 func (n *Network) CommitGatedLinks() []topology.LinkID {
 	var out []topology.LinkID
-	for i := range n.links {
-		l := &n.links[i]
+	for _, l := range n.links {
 		if !l.alive && l.aliveC {
 			out = append(out, l.id)
 		}
@@ -660,9 +680,9 @@ func (n *Network) CommitGatedLinks() []topology.LinkID {
 // The controller calls this in its Resume step, after every correct process
 // has finished Discard, Recall and its failure callbacks (§5.2).
 func (n *Network) ResumeCommitPlane(id topology.LinkID) {
-	l := &n.links[id]
+	l := n.links[id]
 	l.aliveC = false
-	n.scheduleRelays(&n.nodes[l.to])
+	n.scheduleRelays(n.nodes[l.to])
 }
 
 // ExcludeCommitPlane permanently removes a link from commit-plane
@@ -672,10 +692,134 @@ func (n *Network) ResumeCommitPlane(id topology.LinkID) {
 // (only its receive path died) would otherwise keep a parked commit floor
 // in the aggregation and cap the cluster-wide barrier (§5.2).
 func (n *Network) ExcludeCommitPlane(id topology.LinkID) {
-	l := &n.links[id]
+	l := n.links[id]
 	l.excludedC = true
 	l.aliveC = false
-	n.scheduleRelays(&n.nodes[l.to])
+	n.scheduleRelays(n.nodes[l.to])
+}
+
+// DrainedRegister is the sentinel the registers of a drained link are
+// raised to: any aggregation that accidentally included it could only
+// advance the minimum, never regress it. MaxBarrier skips it.
+const DrainedRegister = sim.Time(1) << 62
+
+// Grow extends the simulator's state to cover nodes and links appended to
+// the topology since construction (or the previous Grow). New links start
+// drained — invisible to aggregation, beacons and the dead-link scanner —
+// until AdmitLink seeds their registers and admits them (two-phase
+// prepare/activate). New hosts get a clock and an empty receive hook.
+// Adjacency views of existing nodes are refreshed, since topology growth
+// may have reallocated the underlying slices. Returns the new link IDs.
+func (n *Network) Grow() []topology.LinkID {
+	g := n.G
+	now := n.Eng.Now()
+	for i := len(n.nodes); i < len(g.Nodes); i++ {
+		n.nodes = append(n.nodes, &nodeState{id: topology.NodeID(i)})
+	}
+	for hi := len(n.Clocks); hi < len(g.Hosts); hi++ {
+		n.Clocks = append(n.Clocks, clock.New(n.Eng, n.Eng.Rand(), n.Cfg.Clock))
+		n.hostRx = append(n.hostRx, nil)
+	}
+	var added []topology.LinkID
+	for i := len(n.links); i < len(g.Links); i++ {
+		ls := n.newLinkState(g.Links[i])
+		ls.drained = true
+		ls.lastRx = now
+		n.links = append(n.links, ls)
+		added = append(added, ls.id)
+	}
+	for i, node := range n.nodes {
+		node.in, node.out = g.In[i], g.Out[i]
+	}
+	// Ticker arming needs the refreshed adjacency in place.
+	if !n.Cfg.DisableBeacons {
+		for _, lid := range added {
+			ls := n.links[lid]
+			if g.Node(ls.from).Kind != topology.KindHost {
+				n.armSwitchBeaconTicker(ls)
+			}
+		}
+	}
+	return added
+}
+
+// AdmitLink seeds an input link's §4.1 registers and admits it to barrier
+// aggregation — the activate step of a two-phase join. Callers derive the
+// seed from the join epoch T_join; AdmitLink additionally clamps it to the
+// downstream node's current aggregated output, so admitting a link can
+// never hold the minimum below where it already advanced.
+func (n *Network) AdmitLink(id topology.LinkID, seedBE, seedC sim.Time) {
+	l := n.links[id]
+	node := n.nodes[l.to]
+	if node.outBE > seedBE {
+		seedBE = node.outBE
+	}
+	if node.outC > seedC {
+		seedC = node.outC
+	}
+	if seedBE > l.regBE {
+		l.regBE = seedBE
+	}
+	if seedC > l.regC {
+		l.regC = seedC
+	}
+	l.drained = false
+	l.excludedC = false
+	l.alive = true
+	l.aliveC = true
+	l.lastRx = n.Eng.Now()
+	if n.G.Node(l.to).Kind != topology.KindHost {
+		n.scheduleRelays(node)
+	}
+}
+
+// DrainLink gracefully removes an input link from aggregation: registers
+// are raised to DrainedRegister and the drained flag keeps both the
+// dead-link scanner and straggler packet arrivals from ever treating the
+// ensuing silence as a failure — no OnLinkDead report, no failure
+// timestamp, no Recall.
+func (n *Network) DrainLink(id topology.LinkID) {
+	l := n.links[id]
+	l.drained = true
+	l.alive = false
+	l.aliveC = false
+	l.excludedC = true
+	l.regBE, l.regC = DrainedRegister, DrainedRegister
+	if n.G.Node(l.to).Kind != topology.KindHost {
+		// Removing an input can only advance the min: relay it.
+		n.scheduleRelays(n.nodes[l.to])
+	}
+}
+
+// LinkDrained reports whether a link is currently drained (or grown but
+// not yet admitted).
+func (n *Network) LinkDrained(id topology.LinkID) bool { return n.links[id].drained }
+
+// MaxBarrier returns the largest barrier value present anywhere in the
+// fabric — input-link registers, in-flight egress stamps and aggregated
+// switch outputs on both planes, drained links excluded. Join epochs are
+// chosen above it plus a skew bound covering ahead-running host clocks.
+func (n *Network) MaxBarrier() sim.Time {
+	var max sim.Time
+	for _, l := range n.links {
+		if l.drained {
+			continue
+		}
+		for _, t := range [4]sim.Time{l.regBE, l.regC, l.lastTxBE, l.lastTxC} {
+			if t > max {
+				max = t
+			}
+		}
+	}
+	for _, node := range n.nodes {
+		if node.outBE > max {
+			max = node.outBE
+		}
+		if node.outC > max {
+			max = node.outC
+		}
+	}
+	return max
 }
 
 // Stop halts all periodic activity so the event queue can drain.

@@ -1,0 +1,319 @@
+package reconfig
+
+import (
+	"testing"
+
+	"onepipe/internal/controller"
+	"onepipe/internal/core"
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+func smallClos() topology.ClosConfig {
+	return topology.ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 2}
+}
+
+type msgID struct {
+	src netsim.ProcID
+	seq int
+}
+
+// harness runs continuous scatterings among a mutable set of live procs
+// while recording every delivery and send failure, and asserting the
+// per-receiver (TS, Src) total order never regresses.
+type harness struct {
+	t    *testing.T
+	cl   *core.Cluster
+	eng  *sim.Engine
+	seqs map[netsim.ProcID]int
+
+	active []netsim.ProcID // scattering targets
+
+	deliveries map[netsim.ProcID][]core.Delivery
+	failures   map[netsim.ProcID]int // keyed by destination proc
+	lastTS     map[netsim.ProcID]core.Delivery
+}
+
+func newHarness(t *testing.T, cl *core.Cluster) *harness {
+	h := &harness{
+		t: t, cl: cl, eng: cl.Net.Eng,
+		seqs:       make(map[netsim.ProcID]int),
+		deliveries: make(map[netsim.ProcID][]core.Delivery),
+		failures:   make(map[netsim.ProcID]int),
+		lastTS:     make(map[netsim.ProcID]core.Delivery),
+	}
+	for _, p := range cl.Procs {
+		h.watch(p)
+		h.active = append(h.active, p.ID)
+	}
+	return h
+}
+
+func (h *harness) watch(p *core.Proc) {
+	pid := p.ID
+	p.OnDeliver = func(d core.Delivery) {
+		if last, ok := h.lastTS[pid]; ok {
+			if d.TS < last.TS || (d.TS == last.TS && d.Src < last.Src) {
+				h.t.Errorf("proc %d: delivery order regressed: (%d,%d) after (%d,%d)",
+					pid, d.TS, d.Src, last.TS, last.Src)
+			}
+		}
+		h.lastTS[pid] = d
+		h.deliveries[pid] = append(h.deliveries[pid], d)
+	}
+	p.OnSendFail = func(f core.SendFailure) { h.failures[f.Dst]++ }
+}
+
+// startSender arms a periodic reliable scattering from p to two random
+// active targets until the deadline.
+func (h *harness) startSender(p *core.Proc, period, until sim.Time) {
+	rng := h.eng.Rand()
+	sim.NewTicker(h.eng, period, sim.Time(int(p.ID)*97)*sim.Nanosecond, func() {
+		if h.eng.Now() > until {
+			return
+		}
+		d1 := h.active[rng.Intn(len(h.active))]
+		d2 := h.active[rng.Intn(len(h.active))]
+		if d1 == p.ID || d2 == p.ID || d1 == d2 {
+			return
+		}
+		h.seqs[p.ID]++
+		id := msgID{src: p.ID, seq: h.seqs[p.ID]}
+		_ = p.SendReliable([]core.Message{
+			{Dst: d1, Data: id, Size: 64},
+			{Dst: d2, Data: id, Size: 64},
+		})
+	})
+}
+
+func deploy(t *testing.T, topo topology.ClosConfig) (*netsim.Network, *core.Cluster, *controller.Controller) {
+	cfg := netsim.DefaultConfig(topo, 1)
+	cfg.ControllerManagedCommit = true
+	net := netsim.New(cfg)
+	cl := core.Deploy(net, core.DefaultConfig())
+	ctrl := controller.New(net, cl, controller.DefaultConfig())
+	if ctrl.Raft.WaitLeader(50*sim.Millisecond) == nil {
+		t.Fatal("no controller leader")
+	}
+	return net, cl, ctrl
+}
+
+// TestJoinDrainLive runs the full elastic lifecycle on a loaded fabric:
+// a host joins mid-traffic, an incumbent host drains, a spine drains, and
+// a spine is added — with no failure record, no delivery-order regression
+// at any receiver, and the joiner observing a clean suffix of the total
+// order (every delivery above the effective join epoch).
+func TestJoinDrainLive(t *testing.T) {
+	net, cl, ctrl := deploy(t, smallClos())
+	eng := net.Eng
+	h := newHarness(t, cl)
+	until := 12 * sim.Millisecond
+	for _, p := range cl.Procs {
+		h.startSender(p, 20*sim.Microsecond, until)
+	}
+	eng.RunFor(1 * sim.Millisecond)
+
+	// Join a new host under pod 0, rack 0.
+	e := New(net, cl, ctrl, Config{})
+	var joinEff sim.Time
+	var joined *core.Proc
+	hi, err := e.JoinHost(0, 0, func(host *core.Host, eff sim.Time) {
+		joinEff = eff
+		joined = cl.Procs[len(cl.Procs)-1]
+		h.watch(joined)
+		h.active = append(h.active, joined.ID)
+		h.startSender(joined, 20*sim.Microsecond, until)
+	})
+	if err != nil {
+		t.Fatalf("JoinHost: %v", err)
+	}
+	if hi != len(net.G.Hosts)-1 {
+		t.Fatalf("join host index = %d, want %d", hi, len(net.G.Hosts)-1)
+	}
+	eng.RunFor(2 * sim.Millisecond)
+	if joined == nil {
+		t.Fatal("join never activated")
+	}
+	joinedID := joined.ID
+
+	// Drain incumbent host 2 (keep its proc in the target set: sends
+	// toward a departed host must resolve via send-failure, not hang).
+	var drainDoneAt sim.Time
+	if err := e.DrainHost(2, func() { drainDoneAt = eng.Now() }); err != nil {
+		t.Fatalf("DrainHost: %v", err)
+	}
+	eng.RunFor(2 * sim.Millisecond)
+	if drainDoneAt == 0 {
+		t.Fatal("host drain never completed")
+	}
+	if !cl.Hosts[2].Draining() {
+		t.Fatal("host 2 not marked draining")
+	}
+	preDrainDeliveries := len(h.deliveries[2])
+
+	// Drain pod 0's second spine, then grow pod 1's spine set.
+	spinePhys := net.G.Node(net.G.SpineUps(0)[1]).Phys
+	var switchDrained, switchAdded bool
+	if err := e.DrainSwitch(spinePhys, func() { switchDrained = true }); err != nil {
+		t.Fatalf("DrainSwitch: %v", err)
+	}
+	eng.RunFor(1 * sim.Millisecond)
+	if err := e.AddSwitch(1, func(phys int) { switchAdded = true }); err != nil {
+		t.Fatalf("AddSwitch: %v", err)
+	}
+	markDeliveries := 0
+	for _, ds := range h.deliveries {
+		markDeliveries += len(ds)
+	}
+	eng.RunFor(until - eng.Now() + 5*sim.Millisecond)
+
+	if !switchDrained || !switchAdded {
+		t.Fatalf("switch reconfig incomplete: drained=%v added=%v", switchDrained, switchAdded)
+	}
+	if len(ctrl.Failures) != 0 {
+		t.Fatalf("graceful reconfiguration produced %d failure records", len(ctrl.Failures))
+	}
+	if got := len(e.Log); got != 4 {
+		t.Fatalf("epoch log has %d records, want 4", got)
+	}
+	if len(ctrl.Epochs) != 4 {
+		t.Fatalf("controller replicated %d epochs, want 4", len(ctrl.Epochs))
+	}
+
+	// The joiner delivers only a suffix of the total order: nothing at or
+	// below the effective join epoch.
+	jd := h.deliveries[joinedID]
+	if len(jd) == 0 {
+		t.Fatal("joined host delivered nothing")
+	}
+	for _, d := range jd {
+		if d.TS <= joinEff {
+			t.Fatalf("joiner delivered TS %d <= join epoch %d", d.TS, joinEff)
+		}
+	}
+	// The joiner's own messages reach incumbents, all above the epoch.
+	fromJoiner := 0
+	for pid, ds := range h.deliveries {
+		if pid == joinedID {
+			continue
+		}
+		for _, d := range ds {
+			if d.Src == joinedID {
+				fromJoiner++
+				if d.TS <= joinEff {
+					t.Fatalf("incumbent %d delivered joiner msg at TS %d <= epoch %d", pid, d.TS, joinEff)
+				}
+			}
+		}
+	}
+	if fromJoiner == 0 {
+		t.Fatal("no message from the joined host was delivered")
+	}
+	// Suffix consistency: on the messages both saw, the joiner's order is
+	// exactly an incumbent's order.
+	common := make(map[msgID]int) // joiner's position
+	for i, d := range jd {
+		common[d.Data.(msgID)] = i
+	}
+	prev := -1
+	for _, d := range h.deliveries[0] {
+		if pos, ok := common[d.Data.(msgID)]; ok {
+			if pos <= prev {
+				t.Fatalf("joiner order diverges from incumbent at %v", d.Data)
+			}
+			prev = pos
+		}
+	}
+
+	// The departed host stopped delivering at drain completion, and
+	// sends toward it fail instead of hanging.
+	if got := len(h.deliveries[2]); got != preDrainDeliveries {
+		t.Errorf("drained host delivered %d messages after drain completed", got-preDrainDeliveries)
+	}
+	if h.failures[2] == 0 {
+		t.Error("no send-failure reported for sends toward the drained host")
+	}
+	// The fabric kept delivering after every reconfiguration.
+	post := 0
+	for _, ds := range h.deliveries {
+		post += len(ds)
+	}
+	if post <= markDeliveries {
+		t.Fatal("no deliveries after switch reconfiguration")
+	}
+}
+
+// TestDrainSwitchRejectsPartition verifies the engine refuses a drain
+// that would disconnect live hosts (the only spine of a pod).
+func TestDrainSwitchRejectsPartition(t *testing.T) {
+	topo := smallClos()
+	topo.SpinesPerPod = 1
+	net, cl, ctrl := deploy(t, topo)
+	e := New(net, cl, ctrl, Config{})
+	phys := net.G.Node(net.G.SpineUps(0)[0]).Phys
+	if err := e.DrainSwitch(phys, nil); err == nil {
+		t.Fatal("draining the only spine of a pod was not rejected")
+	}
+	if net.G.NodeDrained(net.G.SpineUps(0)[0]) {
+		t.Fatal("rejected drain left the spine derouted")
+	}
+	if len(e.Log) != 0 {
+		t.Fatal("rejected drain recorded an epoch")
+	}
+}
+
+// TestJoinedHostDiesResolvedByFailurePath kills a freshly joined host and
+// checks the ordinary §5.2 pipeline cleans it up, with a failure
+// timestamp that can never precede the Raft-recorded join epoch.
+func TestJoinedHostDiesResolvedByFailurePath(t *testing.T) {
+	net, cl, ctrl := deploy(t, smallClos())
+	eng := net.Eng
+	h := newHarness(t, cl)
+	until := 10 * sim.Millisecond
+	for _, p := range cl.Procs {
+		h.startSender(p, 20*sim.Microsecond, until)
+	}
+	eng.RunFor(1 * sim.Millisecond)
+
+	e := New(net, cl, ctrl, Config{})
+	var eff sim.Time
+	var joinedHost *core.Host
+	hi, err := e.JoinHost(1, 1, func(host *core.Host, ef sim.Time) {
+		joinedHost, eff = host, ef
+		p := cl.Procs[len(cl.Procs)-1]
+		h.watch(p)
+		h.active = append(h.active, p.ID)
+		h.startSender(p, 20*sim.Microsecond, until)
+	})
+	if err != nil {
+		t.Fatalf("JoinHost: %v", err)
+	}
+	eng.RunFor(2 * sim.Millisecond)
+	if joinedHost == nil {
+		t.Fatal("join never activated")
+	}
+
+	// Die young: crash the joined host with traffic in flight.
+	joinedHost.Stop()
+	net.G.KillNode(net.G.Host(hi))
+	eng.RunFor(10 * sim.Millisecond)
+
+	if len(ctrl.Failures) == 0 {
+		t.Fatal("controller never recorded the joined host's failure")
+	}
+	found := false
+	for _, rec := range ctrl.Failures {
+		for p, fts := range rec.Procs {
+			if net.HostOfProc(p) == hi {
+				found = true
+				if fts < eff {
+					t.Fatalf("failure timestamp %d precedes join epoch %d", fts, eff)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no failure record covers the joined host's proc")
+	}
+}

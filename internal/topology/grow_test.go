@@ -1,0 +1,171 @@
+package topology
+
+import "testing"
+
+func TestAddHostGrowsRack(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 2})
+	before := len(g.Hosts)
+	id, links, err := g.AddHost(1, 0)
+	if err != nil {
+		t.Fatalf("AddHost: %v", err)
+	}
+	if len(g.Hosts) != before+1 || g.Hosts[before] != id {
+		t.Fatalf("host list not grown: %v", g.Hosts)
+	}
+	if g.HostIndex(id) != before {
+		t.Fatalf("HostIndex(%d) = %d, want %d", id, g.HostIndex(id), before)
+	}
+	if len(links) != 2 {
+		t.Fatalf("want uplink+downlink, got %v", links)
+	}
+	if g.Links[links[0]].Kind != LinkHostUp || g.Links[links[1]].Kind != LinkTorHostDown {
+		t.Fatalf("wrong link kinds: %v %v", g.Links[links[0]].Kind, g.Links[links[1]].Kind)
+	}
+	// The joined host must be routable from and to every incumbent.
+	for _, h := range g.Hosts[:before] {
+		if !g.Reachable(h, id) || !g.Reachable(id, h) {
+			t.Fatalf("joined host %d not mutually reachable with %d", id, h)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after AddHost: %v", err)
+	}
+}
+
+func TestAddHostRejectsBadTargets(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 1, RacksPerPod: 1, HostsPerRack: 1, SpinesPerPod: 1, Cores: 1})
+	if _, _, err := g.AddHost(0, 5); err == nil {
+		t.Fatal("AddHost accepted a nonexistent rack")
+	}
+	if _, _, err := g.AddHost(3, 0); err == nil {
+		t.Fatal("AddHost accepted a nonexistent pod")
+	}
+	g.KillPhys(g.Nodes[g.torUp[0][0]].Phys)
+	if _, _, err := g.AddHost(0, 0); err == nil {
+		t.Fatal("AddHost accepted a dead ToR")
+	}
+}
+
+func TestAddSpineGrowsPod(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 1, Cores: 2})
+	up, down, links, err := g.AddSpine(0)
+	if err != nil {
+		t.Fatalf("AddSpine: %v", err)
+	}
+	if len(g.SpineUps(0)) != 2 {
+		t.Fatalf("pod 0 spine count = %d, want 2", len(g.SpineUps(0)))
+	}
+	if g.PeerHalf(up) != down || g.PeerHalf(down) != up {
+		t.Fatal("spine halves not peered")
+	}
+	// loopback + 2 racks * 2 + 2 cores * 2
+	if want := 1 + 2*len(g.torUp[0]) + 2*len(g.cores); len(links) != want {
+		t.Fatalf("new link count = %d, want %d", len(links), want)
+	}
+	// Cross-pod ECMP from pod 0 must now include the new spine.
+	src := g.Hosts[0] // pod 0
+	hops := g.NextHops(g.torUp[0][0], g.Hosts[len(g.Hosts)-1])
+	found := false
+	for _, lid := range hops {
+		if g.Links[lid].To == up {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("ECMP from ToR does not use the new spine (hops %v, src %d)", hops, src)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate after AddSpine: %v", err)
+	}
+}
+
+func TestValidateRejectsCorruptedEdits(t *testing.T) {
+	mk := func() *Graph {
+		return NewClos(ClosConfig{Pods: 1, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1})
+	}
+
+	t.Run("cycle", func(t *testing.T) {
+		g := mk()
+		// A down->up link at the same ToR closes a loop with the loopback.
+		g.addLink(g.torDown[0][0], g.torUp[0][0], LinkTorSpineUp)
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate accepted a cyclic switch graph")
+		}
+	})
+	t.Run("dangling-endpoint", func(t *testing.T) {
+		g := mk()
+		g.Links = append(g.Links, Link{ID: LinkID(len(g.Links)), From: 0, To: NodeID(len(g.Nodes) + 7)})
+		g.linkDead = append(g.linkDead, false)
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate accepted an out-of-range endpoint")
+		}
+	})
+	t.Run("unindexed-link", func(t *testing.T) {
+		g := mk()
+		// Appending the record without adjacency entries must be caught.
+		g.Links = append(g.Links, Link{ID: LinkID(len(g.Links)), From: g.torUp[0][0], To: g.torDown[0][0], Kind: LinkLoopback})
+		g.linkDead = append(g.linkDead, false)
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate accepted a link missing from Out/In")
+		}
+	})
+	t.Run("orphan-host", func(t *testing.T) {
+		g := mk()
+		// A host node with no links is unroutable.
+		g.addNode(KindHost, "orphan", g.nextPhys, 0, 0)
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate accepted a host with no uplink/downlink")
+		}
+	})
+	t.Run("side-table-skew", func(t *testing.T) {
+		g := mk()
+		g.nodeDead = g.nodeDead[:len(g.nodeDead)-1]
+		if err := g.Validate(); err == nil {
+			t.Fatal("Validate accepted skewed side tables")
+		}
+	})
+}
+
+func TestDrainNodeHidesFromRoutingNotFailure(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 1, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 1})
+	h := g.Hosts[0]
+	g.DrainNode(h)
+	if g.NodeDead(h) {
+		t.Fatal("drain must not mark the node dead")
+	}
+	if !g.NodeDrained(h) {
+		t.Fatal("drain mark lost")
+	}
+	if g.Reachable(g.Hosts[1], h) {
+		t.Fatal("drained host still routable")
+	}
+	for _, lid := range g.Out[h] {
+		if !g.LinkDrained(lid) {
+			t.Fatalf("out-link %d of drained host not drained", lid)
+		}
+		if g.LinkDead(lid) {
+			t.Fatalf("out-link %d of drained host reported dead", lid)
+		}
+	}
+	// Draining one of two spines keeps the fabric fully routable.
+	su := g.SpineUps(0)[0]
+	g.DrainNode(su)
+	g.DrainNode(g.PeerHalf(su))
+	if !g.Reachable(g.Hosts[1], g.Hosts[2]) {
+		t.Fatal("fabric unroutable after draining one of two spines")
+	}
+	for _, lid := range g.NextHops(g.torUp[0][0], g.Hosts[2]) {
+		if g.Links[lid].To == su {
+			t.Fatal("ECMP still routes via the drained spine")
+		}
+	}
+	g.UndrainNode(su)
+	g.UndrainNode(g.PeerHalf(su))
+	if g.NodeDrained(su) {
+		t.Fatal("undrain did not clear the mark")
+	}
+	// Structural validation is liveness-agnostic: drains never fail it.
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate with drains: %v", err)
+	}
+}

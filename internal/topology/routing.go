@@ -13,42 +13,49 @@ func (g *Graph) NextHops(cur, dst NodeID) []LinkID {
 // the simulator's hot path can reuse one scratch slice instead of
 // allocating candidates at every hop.
 func (g *Graph) AppendNextHops(buf []LinkID, cur, dst NodeID) []LinkID {
+	return g.appendNextHops(buf, cur, dst, false)
+}
+
+// appendNextHops implements the routing function. With structural set,
+// liveness and drain marks are ignored — Validate uses that mode to check
+// the wiring itself can route, independent of the current failure state.
+func (g *Graph) appendNextHops(buf []LinkID, cur, dst NodeID, structural bool) []LinkID {
 	n := g.Nodes[cur]
 	d := g.Nodes[dst]
 	switch n.Kind {
 	case KindHost:
 		// Single uplink to the ToR.
-		buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkHostUp })
+		buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkHostUp })
 	case KindSwitchUp:
 		if n.Rack >= 0 {
 			// ToR uplink half: turn around for same-rack destinations,
 			// otherwise spread across pod spines.
 			if n.Rack == d.Rack {
-				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkLoopback })
+				buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkLoopback })
 			} else {
-				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkTorSpineUp })
+				buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkTorSpineUp })
 			}
 		} else {
 			// Spine uplink half: turn around within the pod, otherwise up
 			// to the cores.
 			if n.Pod == d.Pod {
-				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkLoopback })
+				buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkLoopback })
 			} else {
-				buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkSpineCoreUp })
+				buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkSpineCoreUp })
 			}
 		}
 	case KindCore:
 		// Down into the destination pod.
-		buf = g.filter(buf, cur, func(l Link) bool {
+		buf = g.filter(buf, cur, structural, func(l Link) bool {
 			return l.Kind == LinkCoreSpineDown && g.Nodes[l.To].Pod == d.Pod
 		})
 	case KindSwitchDown:
 		if n.Rack >= 0 {
 			// ToR downlink half: deliver to the host.
-			buf = g.filter(buf, cur, func(l Link) bool { return l.Kind == LinkTorHostDown && l.To == dst })
+			buf = g.filter(buf, cur, structural, func(l Link) bool { return l.Kind == LinkTorHostDown && l.To == dst })
 		} else {
 			// Spine downlink half: down to the destination rack's ToR.
-			buf = g.filter(buf, cur, func(l Link) bool {
+			buf = g.filter(buf, cur, structural, func(l Link) bool {
 				return l.Kind == LinkSpineTorDown && g.Nodes[l.To].Rack == d.Rack
 			})
 		}
@@ -56,14 +63,42 @@ func (g *Graph) AppendNextHops(buf []LinkID, cur, dst NodeID) []LinkID {
 	return buf
 }
 
-func (g *Graph) filter(out []LinkID, cur NodeID, pred func(Link) bool) []LinkID {
+func (g *Graph) filter(out []LinkID, cur NodeID, structural bool, pred func(Link) bool) []LinkID {
 	for _, lid := range g.Out[cur] {
 		l := g.Links[lid]
-		if pred(l) && !g.LinkDead(lid) {
+		if pred(l) && (structural || (!g.LinkDead(lid) && !g.LinkDrained(lid))) {
 			out = append(out, lid)
 		}
 	}
 	return out
+}
+
+// reachableStructural reports whether dst is reachable from src by the
+// routing function ignoring all liveness and drain marks.
+func (g *Graph) reachableStructural(src, dst NodeID) bool {
+	if src == dst {
+		return true
+	}
+	seen := make([]bool, len(g.Nodes))
+	stack := []NodeID{src}
+	seen[src] = true
+	var buf []LinkID
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		buf = g.appendNextHops(buf[:0], cur, dst, true)
+		for _, lid := range buf {
+			to := g.Links[lid].To
+			if to == dst {
+				return true
+			}
+			if !seen[to] {
+				seen[to] = true
+				stack = append(stack, to)
+			}
+		}
+	}
+	return false
 }
 
 // Path returns one concrete up-down path of link IDs from host src to host
@@ -98,7 +133,7 @@ func (g *Graph) Path(src, dst NodeID, choose func(n int) int) []LinkID {
 // the routing DAG (used by the controller to decide which processes are
 // disconnected, §5.2).
 func (g *Graph) Reachable(src, dst NodeID) bool {
-	if g.nodeDead[src] || g.nodeDead[dst] {
+	if g.nodeDead[src] || g.nodeDead[dst] || g.nodeDrained[src] || g.nodeDrained[dst] {
 		return false
 	}
 	if src == dst {

@@ -117,8 +117,11 @@ func (c ClosConfig) Validate() error {
 // NumHosts returns the total host count.
 func (c ClosConfig) NumHosts() int { return c.Pods * c.RacksPerPod * c.HostsPerRack }
 
-// Graph is an immutable routing DAG plus mutable liveness state used for
-// failure experiments.
+// Graph is a routing DAG plus mutable liveness state used for failure
+// experiments. The DAG itself is mutable too: AddHost and AddSpine grow a
+// running fabric (live reconfiguration), and Validate re-checks the
+// structural invariants after any such edit. Config records the *initial*
+// sizing only; after growth, the slices are authoritative.
 type Graph struct {
 	Config ClosConfig
 	Nodes  []Node
@@ -126,7 +129,8 @@ type Graph struct {
 	// Out and In hold the link IDs leaving and entering each node.
 	Out [][]LinkID
 	In  [][]LinkID
-	// Hosts lists host node IDs in rack-major order.
+	// Hosts lists host node IDs in rack-major order; hosts joined later
+	// append in arrival order.
 	Hosts []NodeID
 
 	// tors[pod][rack] -> physical index into upOf/downOf
@@ -136,9 +140,46 @@ type Graph struct {
 
 	nodeDead []bool
 	linkDead []bool
+	// nodeDrained marks gracefully departed nodes: routing avoids their
+	// links like dead ones, but the failure machinery (dead-link scanner,
+	// controller §5.2) must never treat them as failed.
+	nodeDrained []bool
 
 	// peerHalf maps an up-half to its down-half and vice versa.
 	peerHalf []NodeID
+	// hostIndex maps a host node ID to its index in Hosts; -1 for switches.
+	hostIndex []int
+	// nextPhys is the next unused physical-device index for grown nodes.
+	nextPhys int
+}
+
+// addNode appends a logical node, growing every node-indexed side table in
+// lockstep so the graph stays consistent under runtime growth.
+func (g *Graph) addNode(k Kind, name string, phys, pod, rack int) NodeID {
+	id := NodeID(len(g.Nodes))
+	g.Nodes = append(g.Nodes, Node{ID: id, Kind: k, Name: name, Phys: phys, Pod: pod, Rack: rack})
+	g.Out = append(g.Out, nil)
+	g.In = append(g.In, nil)
+	g.peerHalf = append(g.peerHalf, -1)
+	g.nodeDead = append(g.nodeDead, false)
+	g.nodeDrained = append(g.nodeDrained, false)
+	if k == KindHost {
+		g.hostIndex = append(g.hostIndex, len(g.Hosts))
+		g.Hosts = append(g.Hosts, id)
+	} else {
+		g.hostIndex = append(g.hostIndex, -1)
+	}
+	return id
+}
+
+// addLink appends a directed link and indexes it in the adjacency lists.
+func (g *Graph) addLink(from, to NodeID, k LinkKind) LinkID {
+	id := LinkID(len(g.Links))
+	g.Links = append(g.Links, Link{ID: id, From: from, To: to, Kind: k})
+	g.Out[from] = append(g.Out[from], id)
+	g.In[to] = append(g.In[to], id)
+	g.linkDead = append(g.linkDead, false)
+	return id
 }
 
 // NewClos builds the routing DAG for the given configuration. It panics on
@@ -149,11 +190,7 @@ func NewClos(c ClosConfig) *Graph {
 	}
 	g := &Graph{Config: c}
 
-	addNode := func(k Kind, name string, phys, pod, rack int) NodeID {
-		id := NodeID(len(g.Nodes))
-		g.Nodes = append(g.Nodes, Node{ID: id, Kind: k, Name: name, Phys: phys, Pod: pod, Rack: rack})
-		return id
-	}
+	addNode := g.addNode
 	phys := 0
 
 	// Hosts.
@@ -161,8 +198,7 @@ func NewClos(c ClosConfig) *Graph {
 		for r := 0; r < c.RacksPerPod; r++ {
 			for h := 0; h < c.HostsPerRack; h++ {
 				rack := p*c.RacksPerPod + r
-				id := addNode(KindHost, fmt.Sprintf("h%d", len(g.Hosts)), phys, p, rack)
-				g.Hosts = append(g.Hosts, id)
+				addNode(KindHost, fmt.Sprintf("h%d", len(g.Hosts)), phys, p, rack)
 				phys++
 			}
 		}
@@ -198,18 +234,7 @@ func NewClos(c ClosConfig) *Graph {
 		phys++
 	}
 
-	g.Out = make([][]LinkID, len(g.Nodes))
-	g.In = make([][]LinkID, len(g.Nodes))
-	g.peerHalf = make([]NodeID, len(g.Nodes))
-	for i := range g.peerHalf {
-		g.peerHalf[i] = -1
-	}
-	addLink := func(from, to NodeID, k LinkKind) {
-		id := LinkID(len(g.Links))
-		g.Links = append(g.Links, Link{ID: id, From: from, To: to, Kind: k})
-		g.Out[from] = append(g.Out[from], id)
-		g.In[to] = append(g.In[to], id)
-	}
+	addLink := func(from, to NodeID, k LinkKind) { g.addLink(from, to, k) }
 
 	for p := 0; p < c.Pods; p++ {
 		for r := 0; r < c.RacksPerPod; r++ {
@@ -238,9 +263,188 @@ func NewClos(c ClosConfig) *Graph {
 		}
 	}
 
-	g.nodeDead = make([]bool, len(g.Nodes))
-	g.linkDead = make([]bool, len(g.Links))
+	g.nextPhys = phys
 	return g
+}
+
+// AddHost grows rack (pod, rack) by one host attached to its existing ToR
+// halves, returning the new host node and its two links (uplink, downlink).
+// The edit is validated before it is visible to callers; an invalid target
+// (out of range, dead or drained ToR) is rejected with the graph unchanged.
+func (g *Graph) AddHost(pod, rack int) (NodeID, []LinkID, error) {
+	if pod < 0 || pod >= len(g.torUp) || rack < 0 || rack >= len(g.torUp[pod]) {
+		return -1, nil, fmt.Errorf("topology: AddHost(%d, %d): no such rack", pod, rack)
+	}
+	up, down := g.torUp[pod][rack], g.torDown[pod][rack]
+	if g.nodeDead[up] || g.nodeDead[down] || g.nodeDrained[up] || g.nodeDrained[down] {
+		return -1, nil, fmt.Errorf("topology: AddHost(%d, %d): ToR is dead or drained", pod, rack)
+	}
+	globalRack := g.Nodes[up].Rack
+	id := g.addNode(KindHost, fmt.Sprintf("h%d", len(g.Hosts)), g.nextPhys, pod, globalRack)
+	g.nextPhys++
+	lu := g.addLink(id, up, LinkHostUp)
+	ld := g.addLink(down, id, LinkTorHostDown)
+	if err := g.Validate(); err != nil {
+		return -1, nil, fmt.Errorf("topology: AddHost(%d, %d): %w", pod, rack, err)
+	}
+	return id, []LinkID{lu, ld}, nil
+}
+
+// AddSpine grows pod p's spine set by one physical switch (two logical
+// halves), wiring it to every ToR in the pod and every core, and returns
+// the halves plus all new links. ECMP routing picks the new paths up
+// immediately, since NextHops scans the adjacency lists.
+func (g *Graph) AddSpine(pod int) (up, down NodeID, links []LinkID, err error) {
+	if pod < 0 || pod >= len(g.spineUp) {
+		return -1, -1, nil, fmt.Errorf("topology: AddSpine(%d): no such pod", pod)
+	}
+	s := len(g.spineUp[pod])
+	up = g.addNode(KindSwitchUp, fmt.Sprintf("spine%d.%d.up", pod, s), g.nextPhys, pod, -1)
+	down = g.addNode(KindSwitchDown, fmt.Sprintf("spine%d.%d.down", pod, s), g.nextPhys, pod, -1)
+	g.nextPhys++
+	g.peerHalf[up], g.peerHalf[down] = down, up
+	g.spineUp[pod] = append(g.spineUp[pod], up)
+	g.spineDown[pod] = append(g.spineDown[pod], down)
+	links = append(links, g.addLink(up, down, LinkLoopback))
+	for r := range g.torUp[pod] {
+		links = append(links, g.addLink(g.torUp[pod][r], up, LinkTorSpineUp))
+		links = append(links, g.addLink(down, g.torDown[pod][r], LinkSpineTorDown))
+	}
+	for _, core := range g.cores {
+		links = append(links, g.addLink(up, core, LinkSpineCoreUp))
+		links = append(links, g.addLink(core, down, LinkCoreSpineDown))
+	}
+	if err := g.Validate(); err != nil {
+		return -1, -1, nil, fmt.Errorf("topology: AddSpine(%d): %w", pod, err)
+	}
+	return up, down, links, nil
+}
+
+// SpineUps returns the up-half node IDs of pod p's spines (grown ones
+// included), for callers that manage spine membership.
+func (g *Graph) SpineUps(pod int) []NodeID { return g.spineUp[pod] }
+
+// HostIndex maps a host node ID to its index in Hosts (and thus to its
+// clock / process block), or -1 for non-host nodes. Hosts joined at runtime
+// get IDs after the switches, so the identity mapping from the initial
+// rack-major layout does not hold in general.
+func (g *Graph) HostIndex(id NodeID) int { return g.hostIndex[id] }
+
+// Validate re-checks the structural invariants every mutation must
+// preserve: index/adjacency consistency, acyclicity of the switch graph,
+// every host wired with an uplink and a downlink, and all-pairs host
+// reachability ignoring liveness marks. It is invoked by the mutating
+// builders and should be called after any manual edit; a non-nil error
+// means the edit must not be activated.
+func (g *Graph) Validate() error {
+	if len(g.Out) != len(g.Nodes) || len(g.In) != len(g.Nodes) ||
+		len(g.peerHalf) != len(g.Nodes) || len(g.nodeDead) != len(g.Nodes) ||
+		len(g.nodeDrained) != len(g.Nodes) || len(g.hostIndex) != len(g.Nodes) {
+		return fmt.Errorf("node side tables out of sync with %d nodes", len(g.Nodes))
+	}
+	if len(g.linkDead) != len(g.Links) {
+		return fmt.Errorf("linkDead has %d entries for %d links", len(g.linkDead), len(g.Links))
+	}
+	for i, n := range g.Nodes {
+		if int(n.ID) != i {
+			return fmt.Errorf("node %d records ID %d", i, n.ID)
+		}
+	}
+	for i, l := range g.Links {
+		if int(l.ID) != i {
+			return fmt.Errorf("link %d records ID %d", i, l.ID)
+		}
+		if l.From < 0 || int(l.From) >= len(g.Nodes) || l.To < 0 || int(l.To) >= len(g.Nodes) {
+			return fmt.Errorf("link %d endpoints (%d -> %d) out of range", i, l.From, l.To)
+		}
+	}
+	for n, outs := range g.Out {
+		for _, lid := range outs {
+			if lid < 0 || int(lid) >= len(g.Links) || g.Links[lid].From != NodeID(n) {
+				return fmt.Errorf("Out[%d] lists link %d which does not originate there", n, lid)
+			}
+		}
+	}
+	for n, ins := range g.In {
+		for _, lid := range ins {
+			if lid < 0 || int(lid) >= len(g.Links) || g.Links[lid].To != NodeID(n) {
+				return fmt.Errorf("In[%d] lists link %d which does not terminate there", n, lid)
+			}
+		}
+	}
+	for _, l := range g.Links {
+		if !containsLink(g.Out[l.From], l.ID) || !containsLink(g.In[l.To], l.ID) {
+			return fmt.Errorf("link %d missing from adjacency lists", l.ID)
+		}
+	}
+	if !g.IsDAG() {
+		return fmt.Errorf("switch graph is cyclic")
+	}
+	for hi, h := range g.Hosts {
+		if g.Nodes[h].Kind != KindHost {
+			return fmt.Errorf("Hosts[%d] = node %d which is a %s", hi, h, g.Nodes[h].Kind)
+		}
+		if g.hostIndex[h] != hi {
+			return fmt.Errorf("hostIndex[%d] = %d, want %d", h, g.hostIndex[h], hi)
+		}
+		var hasUp, hasDown bool
+		for _, lid := range g.Out[h] {
+			if g.Links[lid].Kind == LinkHostUp {
+				hasUp = true
+			}
+		}
+		for _, lid := range g.In[h] {
+			if g.Links[lid].Kind == LinkTorHostDown {
+				hasDown = true
+			}
+		}
+		if !hasUp || !hasDown {
+			return fmt.Errorf("host %d is missing an uplink or downlink", h)
+		}
+	}
+	// Routing completeness: ignoring liveness marks, every ordered host
+	// pair must be connected by the up-down routing function. This is what
+	// catches a structurally-sound-looking edit that NextHops cannot
+	// actually route over.
+	for _, src := range g.Hosts {
+		for _, dst := range g.Hosts {
+			if src == dst {
+				continue
+			}
+			if !g.reachableStructural(src, dst) {
+				return fmt.Errorf("host %d cannot route to host %d", src, dst)
+			}
+		}
+	}
+	return nil
+}
+
+func containsLink(list []LinkID, id LinkID) bool {
+	for _, l := range list {
+		if l == id {
+			return true
+		}
+	}
+	return false
+}
+
+// DrainNode marks a node gracefully departed: its links vanish from
+// routing exactly like dead ones, but NodeDead stays false so the failure
+// pipeline (scanner reports, §5.2 failure declaration) never fires for it.
+func (g *Graph) DrainNode(id NodeID) { g.nodeDrained[id] = true }
+
+// UndrainNode clears a drain mark — used by two-phase activation, where a
+// freshly grown node stays drained (invisible to routing) until its link
+// registers are seeded.
+func (g *Graph) UndrainNode(id NodeID) { g.nodeDrained[id] = false }
+
+// NodeDrained reports whether a node has been gracefully drained.
+func (g *Graph) NodeDrained(id NodeID) bool { return g.nodeDrained[id] }
+
+// LinkDrained reports whether either endpoint of a link is drained.
+func (g *Graph) LinkDrained(id LinkID) bool {
+	l := g.Links[id]
+	return g.nodeDrained[l.From] || g.nodeDrained[l.To]
 }
 
 // Host returns the node ID of the i-th host.

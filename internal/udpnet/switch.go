@@ -24,8 +24,13 @@ type Switch struct {
 	mu        sync.Mutex
 	addrs     map[int]*net.UDPAddr // host id -> address
 	blackhole map[int]bool         // host id -> data-plane partitioned
-	regBE     map[int]sim.Time
-	regC      map[int]sim.Time
+	// drained marks hosts that gracefully left: excluded from aggregation
+	// and beacon relays, data toward them dropped, and their registration
+	// never resurrected. Distinct from blackhole (a fault) — a drain is a
+	// decision, so the parked register must not freeze the barrier.
+	drained map[int]bool
+	regBE   map[int]sim.Time
+	regC    map[int]sim.Time
 	// lastFwd records when each downlink last carried a forwarded data
 	// packet; recently-active downlinks skip standalone beacons because the
 	// forwarded packets already carry the restamped aggregate (§4.2).
@@ -59,6 +64,7 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 		cfg: cfg, conn: conn, epoch: epoch,
 		addrs:     make(map[int]*net.UDPAddr),
 		blackhole: make(map[int]bool),
+		drained:   make(map[int]bool),
 		regBE:     make(map[int]sim.Time),
 		regC:      make(map[int]sim.Time),
 		lastFwd:   make(map[int]time.Time),
@@ -86,6 +92,21 @@ func (s *Switch) SetBlackhole(host int, blocked bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.blackhole[host] = blocked
+}
+
+// SetDrained removes a gracefully departed host from aggregation and
+// beacon relays for good.
+func (s *Switch) SetDrained(host int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drained[host] = true
+}
+
+// Drained reports whether a host has gracefully left.
+func (s *Switch) Drained(host int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drained[host]
 }
 
 func (s *Switch) registered() int {
@@ -123,7 +144,24 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 
 	// Registration heartbeat.
 	if pkt.Kind == netsim.KindCtrl && bytes.Equal(payload, registerPayload) {
+		if s.drained[srcHost] {
+			return // departed hosts do not rejoin under the same id
+		}
 		_, known := s.addrs[srcHost]
+		if !known {
+			// Live join: seed the new uplink's registers at the current
+			// aggregate before it joins the minimum. The host's clock
+			// shares the fabric epoch, so everything it emits from now on
+			// carries at least this barrier — admitting the link can
+			// never regress the aggregate, only (briefly) hold it.
+			be, c := s.aggregateLocked()
+			if be > s.regBE[srcHost] {
+				s.regBE[srcHost] = be
+			}
+			if c > s.regC[srcHost] {
+				s.regC[srcHost] = c
+			}
+		}
 		s.addrs[srcHost] = from
 		if !known {
 			select {
@@ -134,6 +172,9 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 		return
 	}
 
+	if s.drained[srcHost] {
+		return // straggler from a departed host: no register resurrection
+	}
 	// Update this uplink's registers (§4.1).
 	if pkt.BarrierBE > s.regBE[srcHost] {
 		s.regBE[srcHost] = pkt.BarrierBE
@@ -147,7 +188,7 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 	}
 
 	dstHost := int(pkt.Dst) / s.cfg.ProcsPerHost
-	if s.blackhole[srcHost] || s.blackhole[dstHost] {
+	if s.blackhole[srcHost] || s.blackhole[dstHost] || s.drained[dstHost] {
 		s.Dropped++
 		return
 	}
@@ -175,6 +216,9 @@ func (s *Switch) aggregateLocked() (sim.Time, sim.Time) {
 	first := true
 	var minBE, minC sim.Time
 	for h := range s.addrs {
+		if s.drained[h] {
+			continue
+		}
 		be, c := s.regBE[h], s.regC[h]
 		if first {
 			minBE, minC = be, c
@@ -216,6 +260,9 @@ func (s *Switch) beaconLoop() {
 			b := wire.Encode(&netsim.Packet{Kind: netsim.KindBeacon, BarrierBE: be, BarrierC: c}, nil)
 			now := time.Now()
 			for h, addr := range s.addrs {
+				if s.drained[h] {
+					continue
+				}
 				if piggyback && now.Sub(s.lastFwd[h]) < s.cfg.BeaconInterval {
 					s.BeaconsSuppressed++
 					continue

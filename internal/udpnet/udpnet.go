@@ -63,6 +63,7 @@ var registerPayload = []byte("1PIPE-REGISTER")
 type Cluster struct {
 	Switch *Switch
 	Hosts  []*HostNode
+	cfg    Config
 	epoch  time.Time
 	debug  *http.Server
 }
@@ -77,14 +78,15 @@ func Start(cfg Config) (*Cluster, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &Cluster{Switch: sw, epoch: epoch}
+	c := &Cluster{Switch: sw, cfg: cfg, epoch: epoch}
 	for h := 0; h < cfg.Hosts; h++ {
-		hn, err := newHostNode(h, cfg, sw.Addr(), epoch)
+		hn, err := newHostNode(h, cfg, sw.Addr(), epoch, 0)
 		if err != nil {
 			c.Close()
 			return nil, err
 		}
 		c.Hosts = append(c.Hosts, hn)
+		c.installStuckHook(hn)
 	}
 	// Wait for every host to be registered at the switch: the switch
 	// signals regNotify on each new registration, so no polling.
@@ -141,6 +143,86 @@ func (c *Cluster) traceMap() map[string]*obs.Trace {
 		}
 	}
 	return out
+}
+
+// installStuckHook wires the degenerate-controller escalation: a
+// scattering stuck toward a drained (departed) host resolves as a
+// send-failure at its sender instead of parking the commit floor.
+func (c *Cluster) installStuckHook(hn *HostNode) {
+	pph := c.cfg.ProcsPerHost
+	hn.mu.Lock()
+	hn.core.OnStuck = func(src, dst netsim.ProcID, ts sim.Time) {
+		dh := int(dst) / pph
+		// Hand off: OnStuck fires inside the endpoint with its lock held.
+		time.AfterFunc(0, func() {
+			if !c.Switch.Drained(dh) {
+				return
+			}
+			hn.mu.Lock()
+			if !hn.closed {
+				hn.core.ResolveUnreachable(dst, ts)
+			}
+			hn.mu.Unlock()
+		})
+	}
+	hn.mu.Unlock()
+}
+
+// Join attaches a new host to the running fabric and returns its index.
+// The switch seeds the new uplink's registers at its current aggregate on
+// registration, and the host's timestamp floor is forced to the shared
+// clock first, so the join can never regress the barrier. Blocks until
+// the switch has registered the host.
+func (c *Cluster) Join() (int, error) {
+	hi := len(c.Hosts)
+	before := c.Switch.registered()
+	hn, err := newHostNode(hi, c.cfg, c.Switch.Addr(), c.epoch, c.Now())
+	if err != nil {
+		return -1, err
+	}
+	timeout := c.cfg.RegisterTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	for c.Switch.registered() <= before {
+		select {
+		case <-c.Switch.regNotify:
+		case <-deadline.C:
+			hn.close()
+			return -1, fmt.Errorf("udpnet: joining host %d never registered", hi)
+		}
+	}
+	c.Hosts = append(c.Hosts, hn)
+	c.installStuckHook(hn)
+	return hi, nil
+}
+
+// Drain gracefully removes a host: sends are refused immediately, the
+// send window flushes, then the switch detaches the uplink from
+// aggregation and the endpoint closes. Blocks until complete. Peers'
+// stuck sends toward the departed host resolve via send-failure.
+func (c *Cluster) Drain(host int) error {
+	if host < 0 || host >= len(c.Hosts) {
+		return fmt.Errorf("udpnet: no such host %d", host)
+	}
+	if c.Switch.Drained(host) {
+		return fmt.Errorf("udpnet: host %d already drained", host)
+	}
+	hn := c.Hosts[host]
+	fin := make(chan struct{})
+	hn.mu.Lock()
+	if hn.closed {
+		hn.mu.Unlock()
+		return fmt.Errorf("udpnet: host %d closed: %w", host, core.ErrClosed)
+	}
+	hn.core.Drain(func() { close(fin) })
+	hn.mu.Unlock()
+	<-fin
+	c.Switch.SetDrained(host)
+	hn.close()
+	return nil
 }
 
 // Proc returns a process handle.
@@ -277,7 +359,9 @@ func (w udpWire) Send(pkt *netsim.Packet) {
 	netsim.PutPacket(pkt) // the wire owns the packet once sent
 }
 
-func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time) (*HostNode, error) {
+// newHostNode binds one host endpoint; a nonzero floor forces its
+// timestamping state above it before the first emission (live join).
+func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time, floor sim.Time) (*HostNode, error) {
 	conn, err := net.ListenUDP("udp4", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
@@ -294,6 +378,9 @@ func newHostNode(id int, cfg Config, swAddr *net.UDPAddr, epoch time.Time) (*Hos
 	ecfg.SendFailTimeout = sim.Time(100 * cfg.BeaconInterval)
 	h.mu.Lock()
 	h.core = core.NewHost(id, udpWire{h: h}, ecfg)
+	if floor > 0 {
+		h.core.SetFloor(floor)
+	}
 	if cfg.Trace {
 		h.core.Obs = obs.NewTrace()
 	}

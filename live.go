@@ -16,9 +16,12 @@ import (
 // It satisfies Fabric, so code written against Process handles runs
 // unchanged on the simulator and both live substrates.
 type Live struct {
-	np   int
-	make func(p int) procBackend
-	stop func()
+	np    int
+	make  func(p int) procBackend
+	stop  func()
+	join  func() (int, error)
+	drain func(host int) error
+	nproc func() int
 
 	mu      sync.Mutex
 	handles []*Process
@@ -96,9 +99,12 @@ func NewLiveCluster(cfg LiveConfig) *Live {
 	lcfg.Endpoint = cfg.endpointOverride()
 	n := livenet.New(lcfg)
 	return &Live{
-		np:   n.NumProcs(),
-		make: func(p int) procBackend { return liveBackend{n: n, p: p} },
-		stop: n.Stop,
+		np:    n.NumProcs(),
+		make:  func(p int) procBackend { return liveBackend{n: n, p: p} },
+		stop:  n.Stop,
+		join:  func() (int, error) { return n.Join(), nil },
+		drain: n.Drain,
+		nproc: n.NumProcs,
 	}
 }
 
@@ -137,14 +143,43 @@ func NewUDPCluster(cfg LiveConfig) (*Live, error) {
 		return nil, err
 	}
 	return &Live{
-		np:   c.NumProcs(),
-		make: func(p int) procBackend { return udpBackend{c: c, p: p} },
-		stop: c.Close,
+		np:    c.NumProcs(),
+		make:  func(p int) procBackend { return udpBackend{c: c, p: p} },
+		stop:  c.Close,
+		join:  c.Join,
+		drain: c.Drain,
+		nproc: c.NumProcs,
 	}, nil
 }
 
 // NumProcesses returns the process count.
-func (l *Live) NumProcesses() int { return l.np }
+func (l *Live) NumProcesses() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.np
+}
+
+// Join grows the running fabric by one host and returns its index. On the
+// in-process fabric the host is live on return; on the UDP fabric it has
+// registered with the software switch and its uplink registers are seeded
+// at the current aggregate, so the global barrier never regresses. The new
+// host's processes appear at the tail of the process space.
+func (l *Live) Join() (int, error) {
+	hi, err := l.join()
+	if err != nil {
+		return -1, err
+	}
+	l.mu.Lock()
+	l.np = l.nproc()
+	l.mu.Unlock()
+	return hi, nil
+}
+
+// Drain gracefully removes a host: new sends on it fail with ErrClosed,
+// its send window flushes, then it leaves barrier aggregation and beacon
+// relays for good. Blocks until the host has fully detached. No failure
+// callbacks fire.
+func (l *Live) Drain(host int) error { return l.drain(host) }
 
 // Process returns the endpoint handle of process p. Handles are cached:
 // repeated calls return the same *Process. Unlike the simulated Cluster, a
@@ -153,8 +188,10 @@ func (l *Live) NumProcesses() int { return l.np }
 func (l *Live) Process(p int) *Process {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.handles == nil {
-		l.handles = make([]*Process, l.np)
+	if len(l.handles) < l.np {
+		grown := make([]*Process, l.np)
+		copy(grown, l.handles)
+		l.handles = grown
 	}
 	if l.handles[p] == nil {
 		l.handles[p] = newProcess(l.make(p))

@@ -38,11 +38,13 @@
 package onepipe
 
 import (
+	"fmt"
 	"sync"
 
 	"onepipe/internal/controller"
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
+	"onepipe/internal/reconfig"
 	"onepipe/internal/sim"
 	"onepipe/internal/topology"
 )
@@ -107,6 +109,18 @@ type Fabric interface {
 	Process(p int) *Process
 	// NumProcesses returns the number of deployed processes.
 	NumProcesses() int
+	// Join grows the running fabric by one host through an epoch-based
+	// live reconfiguration and returns the new host's index once it is
+	// active. The host's processes appear at the tail of the process
+	// space; every timestamp they emit exceeds the join epoch, so no
+	// receiver's delivered barrier ever regresses.
+	Join() (int, error)
+	// Drain gracefully removes a host from the running fabric: new sends
+	// on it fail with ErrClosed, its send window flushes, then it leaves
+	// routing and barrier aggregation for good. Unlike a crash, a drain
+	// assigns no failure timestamp, recalls nothing, and fires no failure
+	// callbacks.
+	Drain(host int) error
 	// Close shuts the fabric down; subsequent sends fail with ErrClosed.
 	Close()
 }
@@ -194,6 +208,8 @@ type Cluster struct {
 	core    *core.Cluster
 	ctrl    *controller.Controller
 	handles []*Process
+	elastic *reconfig.Engine
+	joins   int
 }
 
 // NewCluster builds the network, deploys lib1pipe on every host, and (if
@@ -248,13 +264,74 @@ func (c *Cluster) NumProcesses() int { return len(c.core.Procs) }
 // Process returns the endpoint of process p. Handles are cached: repeated
 // calls return the same *Process.
 func (c *Cluster) Process(p int) *Process {
-	if c.handles == nil {
-		c.handles = make([]*Process, len(c.core.Procs))
+	if len(c.handles) < len(c.core.Procs) {
+		grown := make([]*Process, len(c.core.Procs))
+		copy(grown, c.handles)
+		c.handles = grown
 	}
 	if c.handles[p] == nil {
 		c.handles[p] = newProcess(simBackend{proc: c.core.Procs[p]})
 	}
 	return c.handles[p]
+}
+
+// Reconfig returns the live-reconfiguration engine, built on first use over
+// the deployed network, runtimes, and controller (if any). Switch add/drain
+// and explicitly placed host joins go through it directly; Join and Drain
+// are the placement-free shorthands.
+func (c *Cluster) Reconfig() *reconfig.Engine {
+	if c.elastic == nil {
+		c.elastic = reconfig.New(c.net, c.core, c.ctrl, reconfig.Config{})
+	}
+	return c.elastic
+}
+
+// Join grows the fabric by one host, placed round-robin across the racks,
+// and advances simulated time until the join epoch commits and the host is
+// active. It returns the new host's index; its processes appear at the tail
+// of the process space.
+func (c *Cluster) Join() (int, error) {
+	e := c.Reconfig()
+	tc := c.net.G.Config
+	pod := c.joins % tc.Pods
+	rack := (c.joins / tc.Pods) % tc.RacksPerPod
+	joined := false
+	hi, err := e.JoinHost(pod, rack, func(*core.Host, sim.Time) { joined = true })
+	if err != nil {
+		return -1, err
+	}
+	c.joins++
+	if err := c.runUntil(func() bool { return joined }, 100*Millisecond); err != nil {
+		return -1, fmt.Errorf("join host %d: %w", hi, err)
+	}
+	return hi, nil
+}
+
+// Drain gracefully removes a host, advancing simulated time until its send
+// window has flushed and the drain epoch has committed.
+func (c *Cluster) Drain(host int) error {
+	e := c.Reconfig()
+	drained := false
+	if err := e.DrainHost(host, func() { drained = true }); err != nil {
+		return err
+	}
+	if err := c.runUntil(func() bool { return drained }, 500*Millisecond); err != nil {
+		return fmt.Errorf("drain host %d: %w", host, err)
+	}
+	return nil
+}
+
+// runUntil advances the simulation in small steps until done reports true,
+// or fails after limit of simulated time.
+func (c *Cluster) runUntil(done func() bool, limit Timestamp) error {
+	deadline := c.net.Eng.Now() + limit
+	for !done() {
+		if c.net.Eng.Now() >= deadline {
+			return fmt.Errorf("reconfiguration did not complete within %d ns simulated", limit)
+		}
+		c.net.Eng.RunFor(10 * Microsecond)
+	}
+	return nil
 }
 
 // Close stops every host endpoint; subsequent sends fail with ErrClosed.

@@ -39,13 +39,14 @@ func failSeed(t *testing.T, p Plan, vios []Violation) {
 
 // runSeed executes one seed twice — once for the invariant checkers, once to
 // assert the run is deterministically replayable (byte-identical delivery
-// logs) — and returns the first result.
+// logs AND failure-callback log; Go randomizes map iteration per run, so a
+// single process catches unsorted-map drift) — and returns the first result.
 func runSeed(t *testing.T, p Plan) *Result {
 	t.Helper()
 	r := Run(p)
-	if r2 := Run(p); r.Digest() != r2.Digest() {
-		t.Fatalf("seed %d is not deterministic: digest %s != %s (replay would be unfaithful)",
-			p.Seed, r.Digest()[:16], r2.Digest()[:16])
+	if r2 := Run(p); r.FullDigest() != r2.FullDigest() {
+		t.Fatalf("seed %d is not deterministic: full digest %s != %s (replay would be unfaithful)",
+			p.Seed, r.FullDigest()[:16], r2.FullDigest()[:16])
 	}
 	return r
 }

@@ -72,6 +72,11 @@ const (
 // 13. drain-no-failure — a graceful drain is a decision, not a failure: no
 //                       controller failure record may name a drained
 //                       process unless the fault schedule also crashed it.
+// 14. hot-buffer-bound — when the plan caps the hot reorder heap
+//                       (ReorderHotCap > 0), no host's peak hot occupancy
+//                       may exceed the cap: overflow must spill to the
+//                       cold store, never grow the heap (bounded receiver
+//                       memory).
 func Check(r *Result) []Violation {
 	var out []Violation
 	add := func(inv, format string, args ...any) {
@@ -124,7 +129,24 @@ func Check(r *Result) []Violation {
 	checkJoinEpoch(r, add)
 	checkJoinSuffix(r, exempt, add)
 	checkDrains(r, add)
+	checkHotBufferBound(r, add)
 	return out
+}
+
+// checkHotBufferBound asserts the bounded-memory contract of hybrid reorder
+// buffering: with ReorderHotCap set, the delivery heaps never held more than
+// the cap on any host — every overflow went to the cold spill store. The
+// core reports the peak via Stats.ReorderHotMax (max over hosts of the
+// larger per-plane heap).
+func checkHotBufferBound(r *Result, add func(string, string, ...any)) {
+	hotCap := r.Plan.ReorderHotCap
+	if hotCap <= 0 {
+		return
+	}
+	if r.Stats.ReorderHotMax > int64(hotCap) {
+		add("hot-buffer-bound", "peak hot reorder occupancy %d exceeds ReorderHotCap %d",
+			r.Stats.ReorderHotMax, hotCap)
+	}
 }
 
 // checkEpochBarriers asserts every receiver's announced barrier pair is

@@ -79,6 +79,12 @@ type Result struct {
 	// SendFails collects the scattering members reported through
 	// OnSendFail, as a set keyed by scattering and destination.
 	SendFails map[MsgID]map[netsim.ProcID]bool
+	// Callbacks is the ordered log of application-visible failure
+	// callbacks (OnProcFail, OnSendFail) across all processes. An
+	// application may act on these, so their invocation order is part of
+	// the replay contract; FullDigest hashes this log so nondeterministic
+	// map iteration in the callback paths shows up as digest drift.
+	Callbacks []CallbackRec
 	// ProcFailSeen records, per observer process, the failure
 	// notifications (Callback step) it received.
 	ProcFailSeen map[netsim.ProcID]map[netsim.ProcID]sim.Time
@@ -120,6 +126,17 @@ type Result struct {
 	ForwardedMsgs uint64
 	Stats         core.HostStats
 	NetStats      netsim.Stats
+}
+
+// CallbackRec is one application-visible failure callback, recorded in
+// invocation order. Kind 0 = OnProcFail (Observer told Proc failed at TS);
+// Kind 1 = OnSendFail (Observer's scattering ID toward Proc reported lost).
+type CallbackRec struct {
+	Kind     uint8
+	Observer netsim.ProcID
+	Proc     netsim.ProcID
+	TS       sim.Time
+	ID       MsgID
 }
 
 // JoinInfo describes one mid-run host join.
@@ -229,6 +246,9 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			if !ok {
 				return
 			}
+			res.Callbacks = append(res.Callbacks, CallbackRec{
+				Kind: 1, Observer: proc.ID, Proc: sf.Dst, TS: sf.TS, ID: id,
+			})
 			set := res.SendFails[id]
 			if set == nil {
 				set = make(map[netsim.ProcID]bool)
@@ -237,6 +257,9 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			set[sf.Dst] = true
 		}
 		proc.OnProcFail = func(fp netsim.ProcID, ts sim.Time) {
+			res.Callbacks = append(res.Callbacks, CallbackRec{
+				Kind: 0, Observer: proc.ID, Proc: fp, TS: ts,
+			})
 			m := res.ProcFailSeen[proc.ID]
 			if m == nil {
 				m = make(map[netsim.ProcID]sim.Time)
@@ -501,6 +524,32 @@ func (r *Result) Digest() string {
 			w(int64(d.BarBE))
 			w(int64(d.BarC))
 		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// FullDigest extends Digest with the ordered failure-callback log: two runs
+// of one plan must invoke OnProcFail/OnSendFail on the same processes in
+// the same order with the same arguments, or an application acting on the
+// callbacks would diverge on replay. This is the digest the determinism CI
+// job pins across processes (fresh Go map hash seed each run), guarding the
+// sorted-iteration fixes in core's failure paths.
+func (r *Result) FullDigest() string {
+	h := sha256.New()
+	h.Write([]byte(r.Digest()))
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	w(int64(len(r.Callbacks)))
+	for _, c := range r.Callbacks {
+		w(int64(c.Kind))
+		w(int64(c.Observer))
+		w(int64(c.Proc))
+		w(int64(c.TS))
+		w(int64(c.ID.Src))
+		w(int64(c.ID.Seq))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -88,6 +88,42 @@ func TestAsmDoneCapForgetsOldHoles(t *testing.T) {
 	}
 }
 
+// TestAsmCappedPathFreesStrandedFrags is the pool-leak regression for the
+// capped force-advance: a partial message buffered below a reception hole
+// (frag 0 of a 2-fragment message whose tail never arrives) is stranded when
+// doneBase is forced past it by the done-set cap. The force-advance must
+// drop AND free the fragment — before the fix it only advanced doneBase,
+// so the fragment stayed in frags forever (unreachable: isDup reports its
+// PSN consumed) and its pooled packet was never returned.
+func TestAsmCappedPathFreesStrandedFrags(t *testing.T) {
+	a := newAsmBuf(true)
+	freed := 0
+	a.free = func(*netsim.Packet) { freed++ }
+	// Buffer the head of an incomplete message at PSN 0 (its EndOfMsg frag
+	// is lost), leaving a reception hole that parks doneBase at 0.
+	if _, _, ok := a.add(mkFrag(0, 0, false, 1)); ok {
+		t.Fatal("incomplete message completed")
+	}
+	// Complete single-frag messages above it until the cap forces doneBase
+	// across the hole. Each completion frees nothing itself (the final
+	// fragment is returned to the caller), so every a.free call below is a
+	// force-advance drop.
+	for psn := uint32(1); psn <= asmDoneCap+100; psn++ {
+		if _, _, ok := a.add(mkFrag(psn, 0, true, sim.Time(psn))); !ok {
+			t.Fatalf("message at %d blocked", psn)
+		}
+	}
+	if len(a.frags) != 0 {
+		t.Fatalf("%d stranded fragment(s) survived the forced doneBase advance (pool leak)", len(a.frags))
+	}
+	if freed != 1 {
+		t.Fatalf("stranded fragment freed %d times, want exactly 1 (pool balance)", freed)
+	}
+	if a.doneBase <= 0 || !a.isDup(0) {
+		t.Fatalf("doneBase %d did not pass the dropped slot", a.doneBase)
+	}
+}
+
 // Property: for any set of messages fragmented and delivered in any order,
 // every message completes exactly once with its full size, regardless of
 // interleaving.

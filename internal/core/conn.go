@@ -38,6 +38,13 @@ type outPkt struct {
 	fnext *outPkt
 }
 
+// connCursor is the residue of an evicted send-side connection: the next
+// PSN of each plane, retained so a re-established conn continues the same
+// sequence spaces the receiver's consumed-prefix tracking expects.
+type connCursor struct {
+	nextPSN [2]uint32
+}
+
 // conn is the send-side state for one (source process, destination process)
 // pair: PSN spaces, in-flight accounting, DCTCP congestion control and the
 // retransmission timer of reliable 1Pipe.
@@ -45,6 +52,10 @@ type conn struct {
 	key     connKey
 	host    *Host
 	nextPSN [2]uint32
+	// lastUse is the host clock at the last send-side activity (scattering
+	// construction or ACK); the idle-eviction sweep compares it against
+	// Config.ConnIdleEvict.
+	lastUse sim.Time
 	unacked [2]map[uint32]*outPkt
 	// stuckPkts parks reliable packets that exhausted MaxRetx: their
 	// window slots are freed and they are never retransmitted by the RTO,
@@ -98,7 +109,18 @@ func (h *Host) getConn(src, dst netsim.ProcID) *conn {
 		c.unacked[1] = make(map[uint32]*outPkt)
 		c.rto = newTimer(h.wire, c.onRTO)
 		c.doorbell = newTimer(h.wire, c.onDoorbell)
+		// Re-establishment after idle eviction: resume the evicted PSN
+		// spaces so the receiver's duplicate detection stays coherent.
+		if cur, ok := h.connMemo[k]; ok {
+			c.nextPSN = cur.nextPSN
+			c.windowEnd = cur.nextPSN
+			delete(h.connMemo, k)
+		}
 		h.conns[k] = c
+		h.Stats.ConnsLive = int64(len(h.conns) + len(h.rconns))
+	}
+	if h.Cfg.ConnIdleEvict > 0 {
+		c.lastUse = h.wire.Now()
 	}
 	return c
 }
@@ -122,6 +144,9 @@ func (c *conn) available() int {
 
 // onAck processes one end-to-end ACK.
 func (c *conn) onAck(reliable bool, psn uint32, ecn bool) {
+	if c.host.Cfg.ConnIdleEvict > 0 {
+		c.lastUse = c.host.wire.Now()
+	}
 	k := cls(reliable)
 	op, ok := c.unacked[k][psn]
 	if !ok {

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"onepipe/internal/netsim"
 	"onepipe/internal/obs"
@@ -68,6 +69,12 @@ type HostStats struct {
 	BufferedBytes     int64  // current reorder-buffer occupancy
 	MaxBufferBytes    int64
 	BufferedMsgs      int64
+	// Hybrid reorder buffering and lazy connection lifecycle gauges.
+	ReorderSpills   uint64 // entries that overflowed a hot heap into the cold store
+	ReorderHotBytes int64  // current hot-heap occupancy across both planes, bytes
+	ReorderHotMax   int64  // peak hot-heap occupancy of either plane, entries
+	ConnsLive       int64  // current conn + rconn state objects
+	ConnsEvicted    uint64 // idle conn/rconn evictions performed
 }
 
 // Host is the lib1pipe runtime for one machine (§6.1). All processes on
@@ -109,9 +116,16 @@ type Host struct {
 	rconns      map[connKey]*rconn
 	barrierBE   sim.Time
 	barrierC    sim.Time
-	beQ, relQ   deliveryHeap
+	beQ, relQ   reorderBuf
 	deliveredBE sim.Time
 	deliveredC  sim.Time
+	// Lazy connection lifecycle: evicted peers leave a tiny PSN cursor
+	// behind (send-side next PSNs, receive-side consumed-prefix bases) so
+	// the pair re-establishes mid-epoch without a handshake; evictTimer
+	// drives the periodic idle sweep when Config.ConnIdleEvict is set.
+	connMemo   map[connKey]connCursor
+	rconnMemo  map[connKey][2]uint32
+	evictTimer *timer
 	// batchQ accumulates a contiguous run of below-barrier deliveries for
 	// one process during drain; flushed through OnDeliverBatch. The slice
 	// is reused across batches — receivers must not retain it.
@@ -174,9 +188,13 @@ func NewHost(id int, wire Wire, cfg Config) *Host {
 		recalls:       make(map[recallKey]*recallState),
 		ackPending:    make(map[ackKey]*ackPend),
 		stuckReported: make(map[recallKey]bool),
+		connMemo:      make(map[connKey]connCursor),
+		rconnMemo:     make(map[connKey][2]uint32),
 		sendOcc:       new(stats.Histogram),
 		recvOcc:       new(stats.Histogram),
 	}
+	h.beQ.cap = h.Cfg.ReorderHotCap
+	h.relQ.cap = h.Cfg.ReorderHotCap
 	return h
 }
 
@@ -219,13 +237,88 @@ func (h *Host) recomputeHeldFloor() {
 	}
 }
 
-// Start arms the host's uplink beacon generator (§4.2).
+// Start arms the host's uplink beacon generator (§4.2) and, when idle
+// eviction is configured, the periodic connection sweep.
 func (h *Host) Start() {
 	if h.beaconTimer != nil {
 		return
 	}
 	h.beaconTimer = newTimer(h.wire, h.beaconTick)
 	h.beaconTimer.reset(h.Cfg.BeaconInterval)
+	if h.Cfg.ConnIdleEvict > 0 {
+		h.evictTimer = newTimer(h.wire, h.evictTick)
+		h.evictTimer.reset(h.Cfg.ConnIdleEvict)
+	}
+}
+
+func (h *Host) evictTick() {
+	if h.stopped {
+		return
+	}
+	h.evictIdle(h.wire.Now() - h.Cfg.ConnIdleEvict)
+	h.evictTimer.reset(h.Cfg.ConnIdleEvict)
+}
+
+// evictIdle reclaims per-peer state last used at or before deadline. A
+// send-side conn is evictable only when nothing references it: no in-flight
+// or parked packets, an empty send queue, no reserved credits, no held
+// frame, and no credit-blocked scattering pointing at it. A receive-side
+// rconn is evictable only when both planes' assembly buffers are idle (no
+// buffered fragments, no reception holes). Eviction leaves a PSN cursor in
+// the memo maps so getConn/getRconn re-establish the pair mid-epoch with
+// sequence spaces intact. Iteration is over sorted keys: eviction order is
+// part of the deterministic replay contract.
+func (h *Host) evictIdle(deadline sim.Time) {
+	var referenced map[*conn]bool
+	if len(h.waitQ) > 0 {
+		referenced = make(map[*conn]bool)
+		for _, s := range h.waitQ {
+			for i := range s.credits {
+				referenced[s.credits[i].conn] = true
+			}
+		}
+	}
+	for _, k := range sortedConnKeys(h.conns) {
+		c := h.conns[k]
+		if c.lastUse > deadline || referenced[c] || c.holding {
+			continue
+		}
+		if c.inflight != 0 || c.reserved != 0 || len(c.sendQ) != 0 ||
+			len(c.unacked[0]) != 0 || len(c.unacked[1]) != 0 || len(c.stuckPkts) != 0 {
+			continue
+		}
+		c.rto.stop()
+		c.doorbell.stop()
+		h.connMemo[k] = connCursor{nextPSN: c.nextPSN}
+		delete(h.conns, k)
+		h.Stats.ConnsEvicted++
+	}
+	for _, k := range sortedConnKeys(h.rconns) {
+		rc := h.rconns[k]
+		if rc.lastUse > deadline || !rc.bufs[0].idle() || !rc.bufs[1].idle() {
+			continue
+		}
+		h.rconnMemo[k] = [2]uint32{rc.bufs[0].doneBase, rc.bufs[1].doneBase}
+		delete(h.rconns, k)
+		h.Stats.ConnsEvicted++
+	}
+	h.Stats.ConnsLive = int64(len(h.conns) + len(h.rconns))
+}
+
+// sortedConnKeys returns m's keys in (src, dst) order — the deterministic
+// iteration order every map walk with observable side effects must use.
+func sortedConnKeys[V any](m map[connKey]V) []connKey {
+	keys := make([]connKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].src != keys[j].src {
+			return keys[i].src < keys[j].src
+		}
+		return keys[i].dst < keys[j].dst
+	})
+	return keys
 }
 
 // SetFloor forces the host's timestamping state to at least t: the next
@@ -283,6 +376,9 @@ func (h *Host) Stop() {
 	h.stopped = true
 	if h.beaconTimer != nil {
 		h.beaconTimer.stop()
+	}
+	if h.evictTimer != nil {
+		h.evictTimer.stop()
 	}
 	for _, c := range h.conns {
 		if c.rto != nil {

@@ -36,10 +36,15 @@ func (h *Host) ApplyFailure(failed map[netsim.ProcID]sim.Time, done func()) {
 	}
 	h.recallAffected(failed)
 
-	// Callback: notify every local process of each failure.
-	for fp, fts := range failed {
-		for _, proc := range h.procs {
-			if proc.OnProcFail != nil {
+	// Callback: notify every local process of each failure. Both maps are
+	// walked in sorted key order — an application that acts on the callback
+	// makes its order part of the deterministic replay contract, and ranging
+	// over the maps directly would let Go's map-iteration randomization leak
+	// into the event stream on multi-process failures.
+	for _, fp := range sortedProcIDs(failed) {
+		fts := failed[fp]
+		for _, pid := range sortedProcIDs(h.procs) {
+			if proc := h.procs[pid]; proc.OnProcFail != nil {
 				proc.OnProcFail(fp, fts)
 			}
 		}
@@ -47,22 +52,29 @@ func (h *Host) ApplyFailure(failed map[netsim.ProcID]sim.Time, done func()) {
 	h.checkFailDone()
 }
 
-func (h *Host) discardFrom(failed map[netsim.ProcID]sim.Time) {
-	filter := func(q *deliveryHeap) {
-		kept := (*q)[:0]
-		for _, p := range *q {
-			if fts, dead := failed[p.src]; dead && p.ts > fts {
-				h.Stats.BufferedMsgs--
-				h.Stats.BufferedBytes -= int64(p.size)
-				continue
-			}
-			kept = append(kept, p)
-		}
-		*q = kept
-		q.reinit()
+// sortedProcIDs returns m's keys in ascending order (see ApplyFailure: map
+// walks with observable side effects must be deterministic).
+func sortedProcIDs[V any](m map[netsim.ProcID]V) []netsim.ProcID {
+	ids := make([]netsim.ProcID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
 	}
-	filter(&h.beQ)
-	filter(&h.relQ)
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+func (h *Host) discardFrom(failed map[netsim.ProcID]sim.Time) {
+	drop := func(p *pending) bool {
+		if fts, dead := failed[p.src]; dead && p.ts > fts {
+			h.Stats.BufferedMsgs--
+			h.Stats.BufferedBytes -= int64(p.size)
+			return true
+		}
+		return false
+	}
+	h.beQ.filter(drop)
+	h.relQ.filter(drop)
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
 	// Partial reassembly state from failed processes is dropped wholesale:
 	// no further fragments will arrive.
 	for key, rc := range h.rconns {
@@ -146,13 +158,19 @@ func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
 	}
 	h.waitQ = remaining
 	// Un-ACKed packets addressed to failed processes will never be ACKed:
-	// free their window slots so unrelated traffic keeps flowing.
-	for key, c := range h.conns {
+	// free their window slots so unrelated traffic keeps flowing. Both the
+	// conn map and each unacked map are walked in sorted order: the
+	// failMessage calls below surface OnSendFail to the application, so
+	// their order is part of the deterministic replay contract (the recall
+	// -ACK path at the bottom of this file sorts for the same reason).
+	for _, key := range sortedConnKeys(h.conns) {
 		if _, dead := failed[key.dst]; !dead {
 			continue
 		}
+		c := h.conns[key]
 		for k := 0; k < 2; k++ {
-			for psn, op := range c.unacked[k] {
+			for _, psn := range sortedPSNs(c.unacked[k]) {
+				op := c.unacked[k][psn]
 				c.dropInflight(k, psn)
 				// A frame chain carries several scatterings in one slot; each
 				// live best-effort member fails individually.
@@ -173,6 +191,15 @@ func (h *Host) recallAffected(failed map[netsim.ProcID]sim.Time) {
 		c.stuckPkts = nil
 	}
 	h.grantCredits()
+}
+
+func sortedPSNs(m map[uint32]*outPkt) []uint32 {
+	psns := make([]uint32, 0, len(m))
+	for psn := range m {
+		psns = append(psns, psn)
+	}
+	sort.Slice(psns, func(i, j int) bool { return psns[i] < psns[j] })
+	return psns
 }
 
 // abortScattering recalls a reliable scattering: correct receivers are told
@@ -283,20 +310,15 @@ func (h *Host) ApplyRecallTombstone(sender netsim.ProcID, ts sim.Time) {
 }
 
 func (h *Host) removeBuffered(src netsim.ProcID, ts sim.Time) {
-	filter := func(q *deliveryHeap) {
-		kept := (*q)[:0]
-		for _, p := range *q {
-			if p.src == src && p.ts == ts {
-				h.Stats.BufferedMsgs--
-				h.Stats.BufferedBytes -= int64(p.size)
-				continue
-			}
-			kept = append(kept, p)
+	h.relQ.filter(func(p *pending) bool {
+		if p.src == src && p.ts == ts {
+			h.Stats.BufferedMsgs--
+			h.Stats.BufferedBytes -= int64(p.size)
+			return true
 		}
-		*q = kept
-		q.reinit()
-	}
-	filter(&h.relQ)
+		return false
+	})
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
 	// Buffered fragments of the recalled message are consumed unseen.
 	for key, rc := range h.rconns {
 		if key.src != src {

@@ -47,6 +47,181 @@ func (h *deliveryHeap) Pop() any {
 }
 func (h deliveryHeap) top() *pending { return h[0] }
 
+// pendingLess is the (ts, src, psn) total-order key of §2.1 on two entries.
+func pendingLess(a, b *pending) bool {
+	if a.ts != b.ts {
+		return a.ts < b.ts
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.psn < b.psn
+}
+
+// coldRun is one sorted run of spilled entries, consumed from the head.
+type coldRun struct {
+	ents []*pending
+	head int
+}
+
+// coldStore is the ordered spill half of hybrid reorder buffering: entries
+// that overflow the hot heap are appended to sorted runs — O(1) while keys
+// ascend, which is the common case since timestamps roughly increase — and
+// the global minimum is found by scanning the run heads. Compared to the
+// hot heap the cold store is flat slices with no per-entry heap movement,
+// the stand-in for the paper-adjacent spill tier (Almeida's hybrid
+// buffering): hot occupancy stays bounded by Config.ReorderHotCap while
+// total buffering, and therefore delivery order, is unchanged.
+type coldStore struct {
+	runs []coldRun
+	size int
+}
+
+func (c *coldStore) push(p *pending) {
+	if n := len(c.runs); n > 0 {
+		run := &c.runs[n-1]
+		if !pendingLess(p, run.ents[len(run.ents)-1]) {
+			run.ents = append(run.ents, p)
+			c.size++
+			return
+		}
+	}
+	c.runs = append(c.runs, coldRun{ents: []*pending{p}})
+	c.size++
+}
+
+// peekMin returns the smallest spilled entry, or nil when empty. Ties are
+// impossible — (ts, src, psn) is unique per buffered message — so scanning
+// run heads in index order is deterministic.
+func (c *coldStore) peekMin() *pending {
+	var best *pending
+	for i := range c.runs {
+		r := &c.runs[i]
+		if e := r.ents[r.head]; best == nil || pendingLess(e, best) {
+			best = e
+		}
+	}
+	return best
+}
+
+func (c *coldStore) popMin() *pending {
+	bi := -1
+	var best *pending
+	for i := range c.runs {
+		r := &c.runs[i]
+		if e := r.ents[r.head]; best == nil || pendingLess(e, best) {
+			best, bi = e, i
+		}
+	}
+	r := &c.runs[bi]
+	r.ents[r.head] = nil
+	r.head++
+	c.size--
+	if r.head == len(r.ents) {
+		c.runs = append(c.runs[:bi], c.runs[bi+1:]...)
+	}
+	return best
+}
+
+// filter drops entries matching drop, preserving run order (a subsequence
+// of a sorted run is sorted).
+func (c *coldStore) filter(drop func(*pending) bool) {
+	kept := c.runs[:0]
+	c.size = 0
+	for i := range c.runs {
+		r := &c.runs[i]
+		out := r.ents[:0]
+		for _, e := range r.ents[r.head:] {
+			if !drop(e) {
+				out = append(out, e)
+			}
+		}
+		if len(out) > 0 {
+			kept = append(kept, coldRun{ents: out})
+			c.size += len(out)
+		}
+	}
+	c.runs = kept
+}
+
+// reorderBuf is one plane's reorder buffer: a hot delivery heap bounded by
+// cap entries plus the ordered cold spill. The externally visible order —
+// top/pop always yield the global (ts, src, psn) minimum — is identical to
+// a single unbounded heap; only the residence of entries differs.
+type reorderBuf struct {
+	hot      deliveryHeap
+	cold     coldStore
+	cap      int // 0 = unbounded hot heap (no spill ever)
+	hotBytes int64
+}
+
+// push buffers an entry, spilling when the hot heap is at cap. Reports
+// whether the entry went cold (for the ReorderSpills counter).
+func (b *reorderBuf) push(p *pending) bool {
+	if b.cap > 0 && len(b.hot) >= b.cap {
+		b.cold.push(p)
+		return true
+	}
+	heap.Push(&b.hot, p)
+	b.hotBytes += int64(p.size)
+	return false
+}
+
+func (b *reorderBuf) Len() int { return len(b.hot) + b.cold.size }
+
+// top returns the globally smallest buffered entry.
+func (b *reorderBuf) top() *pending {
+	var h *pending
+	if len(b.hot) > 0 {
+		h = b.hot.top()
+	}
+	c := b.cold.peekMin()
+	if h == nil {
+		return c
+	}
+	if c != nil && pendingLess(c, h) {
+		return c
+	}
+	return h
+}
+
+// pop removes and returns the global minimum, then refills the hot heap
+// from the cold store while capacity allows — the "refill as the barriers
+// advance" half of hybrid buffering (pops happen only when a barrier
+// advance uncovered the entry).
+func (b *reorderBuf) pop() *pending {
+	var p *pending
+	c := b.cold.peekMin()
+	if len(b.hot) == 0 || (c != nil && pendingLess(c, b.hot.top())) {
+		p = b.cold.popMin()
+	} else {
+		p = heap.Pop(&b.hot).(*pending)
+		b.hotBytes -= int64(p.size)
+	}
+	for b.cold.size > 0 && (b.cap == 0 || len(b.hot) < b.cap) {
+		e := b.cold.popMin()
+		heap.Push(&b.hot, e)
+		b.hotBytes += int64(e.size)
+	}
+	return p
+}
+
+// filter drops buffered entries matching drop from both tiers (failure
+// discard and recall tombstoning).
+func (b *reorderBuf) filter(drop func(*pending) bool) {
+	kept := b.hot[:0]
+	for _, p := range b.hot {
+		if drop(p) {
+			b.hotBytes -= int64(p.size)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	b.hot = kept
+	b.hot.reinit()
+	b.cold.filter(drop)
+}
+
 // asmBuf reassembles one class's fragment stream for one (sender, local
 // process) pair. Reassembly is keyed on (PSN - FragIdx), the message's
 // first PSN, so holes left by lost best-effort packets never block later
@@ -86,11 +261,26 @@ func (a *asmBuf) markDone(psn uint32) {
 	}
 	if a.capped {
 		for len(a.done) > asmDoneCap {
+			// Force-advancing doneBase past a PSN that still holds a buffered
+			// fragment would strand it forever: every later sibling arrival is
+			// classified a duplicate, so the fragment is never consumed and
+			// never returned to the pool. Drop and free it as the base passes.
+			if f := a.frags[a.doneBase]; f != nil {
+				delete(a.frags, a.doneBase)
+				if a.free != nil {
+					a.free(f)
+				}
+			}
 			delete(a.done, a.doneBase)
 			a.doneBase++
 		}
 	}
 }
+
+// idle reports whether the buffer holds no transient state — no buffered
+// fragments and no reception holes — so its position is fully captured by
+// doneBase alone and the buffer is safe to evict.
+func (a *asmBuf) idle() bool { return len(a.frags) == 0 && len(a.done) == 0 }
 
 // markDoneSpan consumes span consecutive PSNs starting at psn — a frame's
 // whole sequence range, including members elided from the payload because
@@ -180,8 +370,11 @@ func (a *asmBuf) dropWhere(pred func(*netsim.Packet) bool) {
 
 // rconn is receive-side state per (remote sender process, local process).
 type rconn struct {
-	key  connKey
-	bufs [2]*asmBuf
+	key connKey
+	// lastUse is the host clock at the last packet received on this pair;
+	// the idle-eviction sweep reclaims receive state past Config.ConnIdleEvict.
+	lastUse sim.Time
+	bufs    [2]*asmBuf
 }
 
 func (h *Host) getRconn(src, dst netsim.ProcID) *rconn {
@@ -193,7 +386,20 @@ func (h *Host) getRconn(src, dst netsim.ProcID) *rconn {
 		rc.bufs[1] = newAsmBuf(false)
 		rc.bufs[0].free = netsim.PutPacket
 		rc.bufs[1].free = netsim.PutPacket
+		// Re-establishment after eviction: the retained PSN cursors restore
+		// each plane's consumed-prefix position, so a retransmission of an
+		// already-consumed packet is still classified duplicate and fresh
+		// PSNs resume exactly where the evicted state left off.
+		if cur, ok := h.rconnMemo[k]; ok {
+			rc.bufs[0].doneBase = cur[0]
+			rc.bufs[1].doneBase = cur[1]
+			delete(h.rconnMemo, k)
+		}
 		h.rconns[k] = rc
+		h.Stats.ConnsLive = int64(len(h.conns) + len(h.rconns))
+	}
+	if h.Cfg.ConnIdleEvict > 0 {
+		rc.lastUse = h.wire.Now()
 	}
 	return rc
 }
@@ -463,10 +669,16 @@ func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
 		h.Obs.Rec(obs.SpanNetTransit, p.enqAt-p.ts)
 		h.Obs.Rec(obs.SpanSwitchQueue, queueWait)
 	}
+	q := &h.beQ
 	if p.reliable {
-		heap.Push(&h.relQ, p)
-	} else {
-		heap.Push(&h.beQ, p)
+		q = &h.relQ
+	}
+	if q.push(p) {
+		h.Stats.ReorderSpills++
+	}
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
+	if hot := int64(len(q.hot)); hot > h.Stats.ReorderHotMax {
+		h.Stats.ReorderHotMax = hot
 	}
 	h.Stats.BufferedMsgs++
 	h.Stats.BufferedBytes += int64(size)
@@ -483,6 +695,7 @@ func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
 // a delivery batch flushed through OnDeliverBatch at the end of the drain.
 func (h *Host) drain() {
 	h.drainQueues()
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
 	h.flushDeliveries()
 }
 
@@ -490,10 +703,10 @@ func (h *Host) drainQueues() {
 	switch h.Cfg.Mode {
 	case DeliverSeparate:
 		for h.beQ.Len() > 0 && h.beQ.top().ts < h.barrierBE {
-			h.deliver(heap.Pop(&h.beQ).(*pending))
+			h.deliver(h.beQ.pop())
 		}
 		for h.relQ.Len() > 0 && h.relQ.top().ts <= h.barrierC {
-			h.deliver(heap.Pop(&h.relQ).(*pending))
+			h.deliver(h.relQ.pop())
 		}
 	case DeliverUnified:
 		eff := h.barrierBE - 1
@@ -501,7 +714,7 @@ func (h *Host) drainQueues() {
 			eff = h.barrierC
 		}
 		for {
-			var q *deliveryHeap
+			var q *reorderBuf
 			switch {
 			case h.beQ.Len() == 0 && h.relQ.Len() == 0:
 				return
@@ -510,8 +723,11 @@ func (h *Host) drainQueues() {
 			case h.relQ.Len() == 0:
 				q = &h.beQ
 			default:
-				a, b := h.beQ.top(), h.relQ.top()
-				if a.ts < b.ts || (a.ts == b.ts && a.src <= b.src) {
+				// Cross-queue tie-break on the full (ts, src, psn) key: when a
+				// best-effort and a reliable entry from the same sender share a
+				// timestamp, the PSN decides — always preferring one queue here
+				// would violate the documented total order.
+				if a, b := h.beQ.top(), h.relQ.top(); !pendingLess(b, a) {
 					q = &h.beQ
 				} else {
 					q = &h.relQ
@@ -520,7 +736,7 @@ func (h *Host) drainQueues() {
 			if q.top().ts > eff {
 				return
 			}
-			h.deliver(heap.Pop(q).(*pending))
+			h.deliver(q.pop())
 		}
 	}
 }

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+)
+
+// mkPending builds a pending with a unique (ts, src, psn) key drawn from a
+// small key space so heap ties on ts and (ts, src) are common.
+func mkPending(rng *rand.Rand, psn uint32) *pending {
+	return &pending{
+		ts:   sim.Time(rng.Intn(64)),
+		src:  netsim.ProcID(rng.Intn(8)),
+		psn:  psn,
+		size: 64 + rng.Intn(256),
+	}
+}
+
+// TestReorderBufEquivalence is the hybrid-buffering correctness property:
+// for any interleaving of pushes and pops, a reorderBuf at any cap
+// (unbounded 0, degenerate 1, and up) pops the exact same sequence as the
+// seed's raw deliveryHeap — spilling to the cold store is a memory placement
+// decision, never an ordering one. The hot heap must also respect the cap
+// at every step (invariant 14 at the unit level).
+func TestReorderBufEquivalence(t *testing.T) {
+	caps := []int{0, 1, 2, 8, 64}
+	for trial := 0; trial < 50; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		// One shared op script: true = push, false = pop (if non-empty).
+		n := 50 + rng.Intn(200)
+		ops := make([]bool, n)
+		for i := range ops {
+			ops[i] = rng.Intn(3) != 0 // pushes outnumber pops; drain at the end
+		}
+		// Materialize one pending per push, shared by every cap run so the
+		// comparison is on identical inputs.
+		var inputs []*pending
+		for i, push := range ops {
+			if push {
+				inputs = append(inputs, mkPending(rng, uint32(i)))
+			}
+		}
+
+		// Reference: the seed's raw deliveryHeap run through the same script.
+		var ref []*pending
+		{
+			var h deliveryHeap
+			next := 0
+			for _, push := range ops {
+				if push {
+					pushPending(&h, inputs[next])
+					next++
+				} else if h.Len() > 0 {
+					ref = append(ref, popPending(&h))
+				}
+			}
+			for h.Len() > 0 {
+				ref = append(ref, popPending(&h))
+			}
+		}
+		for _, hotCap := range caps {
+			b := &reorderBuf{}
+			b.cap = hotCap
+			var got []*pending
+			next := 0
+			for _, push := range ops {
+				if push {
+					b.push(inputs[next])
+					next++
+				} else if b.Len() > 0 {
+					got = append(got, b.pop())
+				}
+				if hotCap > 0 && len(b.hot) > hotCap {
+					t.Fatalf("trial %d cap %d: hot heap grew to %d", trial, hotCap, len(b.hot))
+				}
+				if top := b.top(); b.Len() > 0 && top == nil {
+					t.Fatalf("trial %d cap %d: non-empty buffer has no top", trial, hotCap)
+				}
+			}
+			for b.Len() > 0 {
+				got = append(got, b.pop())
+			}
+			if len(got) != len(inputs) {
+				t.Fatalf("trial %d cap %d: popped %d of %d", trial, hotCap, len(got), len(inputs))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("trial %d cap %d: pop %d = (%d,%d,%d), unbounded popped (%d,%d,%d)",
+						trial, hotCap, i, got[i].ts, got[i].src, got[i].psn,
+						ref[i].ts, ref[i].src, ref[i].psn)
+				}
+			}
+		}
+	}
+}
+
+// TestReorderBufFilterEquivalence extends the property across filter (the
+// failure-discard path): after dropping an arbitrary predicate from both a
+// capped and an unbounded buffer, the survivors must drain identically.
+func TestReorderBufFilterEquivalence(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		rng := rand.New(rand.NewSource(int64(1000 + trial)))
+		var inputs []*pending
+		for i := 0; i < 120; i++ {
+			inputs = append(inputs, mkPending(rng, uint32(i)))
+		}
+		victim := netsim.ProcID(rng.Intn(8))
+		drop := func(p *pending) bool { return p.src == victim }
+
+		drain := func(hotCap int) []*pending {
+			b := &reorderBuf{}
+			b.cap = hotCap
+			for _, p := range inputs {
+				b.push(p)
+			}
+			b.filter(drop)
+			var got []*pending
+			for b.Len() > 0 {
+				got = append(got, b.pop())
+			}
+			return got
+		}
+		ref := drain(0)
+		for _, hotCap := range []int{1, 3, 16} {
+			got := drain(hotCap)
+			if len(got) != len(ref) {
+				t.Fatalf("trial %d cap %d: %d survivors, want %d", trial, hotCap, len(got), len(ref))
+			}
+			for i := range got {
+				if got[i] != ref[i] {
+					t.Fatalf("trial %d cap %d: survivor %d differs", trial, hotCap, i)
+				}
+			}
+		}
+	}
+}
+
+// TestReorderBufHotPathAllocs pins the hot path at zero allocations: below
+// the cap, push and pop touch only the pre-grown heap slice — the cold
+// store must not be engaged, and nothing may escape.
+func TestReorderBufHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc counting is meaningless under -short race harnesses")
+	}
+	const n = 64
+	b := &reorderBuf{}
+	b.cap = 256 // well above n: the spill path must never run
+	ps := make([]*pending, n)
+	for i := range ps {
+		ps[i] = &pending{ts: sim.Time((i * 7) % 31), src: netsim.ProcID(i % 5), psn: uint32(i), size: 100}
+	}
+	// Pre-grow the heap slice: steady state reuses capacity.
+	for _, p := range ps {
+		b.push(p)
+	}
+	for b.Len() > 0 {
+		b.pop()
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, p := range ps {
+			if spilled := b.push(p); spilled {
+				t.Fatal("push below cap spilled to cold store")
+			}
+		}
+		for b.Len() > 0 {
+			b.pop()
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("hot push/pop path allocates %.1f per cycle, want 0", avg)
+	}
+}

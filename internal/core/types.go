@@ -126,6 +126,19 @@ type Config struct {
 	// DisablePiggyback restores unconditional beacon ticks instead of
 	// suppressing beacons while data emissions already carry the floor.
 	DisablePiggyback bool
+	// ReorderHotCap bounds each delivery heap (per reliability plane) to
+	// this many hot entries. Overflow spills to the per-host ordered cold
+	// store and is refilled as the barriers advance, so hot reorder memory
+	// stays O(cap) while delivery order is unchanged (hybrid buffering;
+	// Almeida's bounded hot buffer + ordered spill). 0 = unbounded.
+	ReorderHotCap int
+	// ConnIdleEvict enables lazy connection lifecycle: per-peer send and
+	// receive state idle for at least this long — and holding no in-flight,
+	// queued, parked or partially reassembled data — is reclaimed, leaving
+	// only a small PSN cursor behind so the connection re-establishes
+	// safely mid-epoch on next use. 0 disables eviction (eager state for
+	// the whole fabric, the historical behavior).
+	ConnIdleEvict sim.Time
 }
 
 // DefaultConfig matches the paper's deployment parameters.

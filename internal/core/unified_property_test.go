@@ -178,3 +178,59 @@ func TestSeparatePerPlaneOrderOnly(t *testing.T) {
 		t.Fatalf("no cross-class inversion in %d DeliverSeparate seeds — the mode distinction tests nothing", seeds)
 	}
 }
+
+// TestUnifiedCrossQueueTieBreakPSN pins the unified-mode tie-break at its
+// sharpest edge: best-effort and reliable entries from the SAME sender with
+// the SAME timestamp, injected directly into the delivery queues so the
+// collision is guaranteed rather than hoped for. The cross-queue choice in
+// drainQueues must fall through to the PSN — the regression was comparing
+// only (ts, src) and always preferring the best-effort queue on ties, which
+// silently inverted the documented (ts, src, psn) total order whenever the
+// reliable entry carried the lower PSN.
+func TestUnifiedCrossQueueTieBreakPSN(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Mode = DeliverUnified
+	w := &stubWire{}
+	h := NewHost(0, w, cfg)
+	proc := h.AddProc(0)
+	var got []struct {
+		ts       sim.Time
+		src      netsim.ProcID
+		reliable bool
+	}
+	proc.OnDeliver = func(d Delivery) {
+		got = append(got, struct {
+			ts       sim.Time
+			src      netsim.ProcID
+			reliable bool
+		}{d.TS, d.Src, d.Reliable})
+	}
+
+	// Two colliding (ts, src) pairs with the plane-vs-PSN relation flipped:
+	// at ts=10 the reliable entry has the lower PSN (must beat best-effort);
+	// at ts=20 the best-effort entry has the lower PSN (must beat reliable).
+	// An always-prefer-beQ tie-break delivers ts=10 backwards; a
+	// prefer-relQ one delivers ts=20 backwards. Only the PSN compare
+	// survives both.
+	h.enqueuePending(10, 3, 0, 5, "be", 64, false, 0)
+	h.enqueuePending(10, 3, 0, 2, "rel", 64, true, 0)
+	h.enqueuePending(20, 3, 0, 1, "be", 64, false, 0)
+	h.enqueuePending(20, 3, 0, 7, "rel", 64, true, 0)
+	h.barrierBE = 100
+	h.barrierC = 100
+	h.drain()
+
+	want := []struct {
+		ts       sim.Time
+		reliable bool
+	}{{10, true}, {10, false}, {20, false}, {20, true}}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d of %d injected messages", len(got), len(want))
+	}
+	for i, g := range got {
+		if g.ts != want[i].ts || g.reliable != want[i].reliable {
+			t.Fatalf("delivery %d: ts=%d reliable=%v, want ts=%d reliable=%v — PSN tie-break lost",
+				i, g.ts, g.reliable, want[i].ts, want[i].reliable)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+
+	"onepipe/internal/core"
+	"onepipe/internal/sim"
+)
+
+// MemBound regenerates the bounded-receiver-memory figure: an incast (every
+// process sends to process 0) with artificially inflated delivery latency
+// (the barrier-holdback knob), swept over fabric size. The unbounded
+// receiver's hot reorder heap grows with the number of senders; with
+// ReorderHotCap set, hot occupancy stays pinned at the cap while overflow
+// spills to the cold store — and the victim's delivery sequence is
+// byte-identical, which the last column verifies per row by hashing both
+// runs' delivery logs.
+func MemBound(sc Scale) *Table {
+	t := &Table{
+		ID: "mem", Title: "Receiver reorder memory vs. fabric size (incast, 25us holdback)",
+		Columns: []string{"procs", "hot_max_unbounded", "hot_max_capped", "cold_spills", "delivery_identical"},
+	}
+	const hotCap = 32
+	hold := 25 * sim.Microsecond
+	for _, n := range procSweep(sc, []int{8, 16, 32, 64, 128, 256}) {
+		unb, unbMax, _ := runIncast(sc, n, hold, 0)
+		cap_, capMax, spills := runIncast(sc, n, hold, hotCap)
+		same := "YES"
+		if unb != cap_ {
+			same = "NO"
+		}
+		t.AddRow(fd(n), fd(int(unbMax)), fd(int(capMax)), fd(int(spills)), same)
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: unbounded hot occupancy grows with sender count (linear incast pressure); capped stays at ReorderHotCap=32 with the overflow in cold spills; delivery sequences must match on every row",
+		"hot_max is the peak entry count of the larger per-plane heap on any host; the victim (proc 0) dominates")
+	return t
+}
+
+// runIncast drives one incast run and returns the victim's delivery-log
+// digest, the fabric-wide peak hot heap occupancy, and total cold spills.
+func runIncast(sc Scale, n int, hold sim.Time, hotCap int) (digest string, hotMax int64, spills uint64) {
+	cl := deploy(n, nil, func(c *core.Config) {
+		c.DeliveryHoldback = hold
+		c.DisableBEAck = true
+		c.ReorderHotCap = hotCap
+	})
+	eng := cl.Net.Eng
+	h := sha256.New()
+	var buf [16]byte
+	cl.Procs[0].OnDeliver = func(d core.Delivery) {
+		binary.LittleEndian.PutUint64(buf[:8], uint64(d.TS))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(d.Src))
+		h.Write(buf[:])
+	}
+	// Every non-victim process sends small best-effort messages to proc 0
+	// on a deterministic ticker: classic incast, and the holdback keeps
+	// each message parked in the victim's reorder buffer for ~hold.
+	gap := sim.Time(2 * sim.Microsecond)
+	for pi := 1; pi < n; pi++ {
+		pi := pi
+		sim.NewTicker(eng, gap, sim.Time(pi)*53*sim.Nanosecond, func() {
+			cl.Procs[pi].Send([]core.Message{{Dst: 0, Size: 256}})
+		})
+	}
+	eng.RunFor(sc.Warmup + sc.Window + 4*hold)
+	st := cl.TotalStats()
+	return hex.EncodeToString(h.Sum(nil)), st.ReorderHotMax, st.ReorderSpills
+}
+
+func fd(v int) string { return fmt.Sprintf("%d", v) }

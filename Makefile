@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic
+.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict
 
 all: vet test
 
@@ -61,6 +61,11 @@ chaos-nightly:
 # load (docs/reconfiguration.md). The notes carry pass/fail verdicts.
 elastic:
 	$(GO) run ./cmd/onepipe-bench -fig elastic
+
+# Conflict-aware ablation: relaxed (Generic Multicast) delivery raced
+# against the unified total order across conflict rates (DESIGN.md #12).
+conflict:
+	$(GO) run ./cmd/onepipe-bench -fig conflict
 
 examples:
 	@for ex in quickstart bank kvstore replication snapshot lockmanager; do \

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"onepipe/internal/core"
 	"onepipe/internal/netsim"
 	"onepipe/internal/sim"
 	"onepipe/internal/wire"
@@ -31,6 +32,11 @@ func CaptureWirePackets(seed int64, perKind int) [][]byte {
 	// Widen the coalescing window well past the send interval so same-conn
 	// scatterings merge and the corpus contains genuine multi-message frames.
 	p.BatchWindow = 20 * sim.Microsecond
+	// Tag about half the workload with conflict keys under conflict-aware
+	// delivery, so the corpus carries nonzero ConflictKey headers and frames
+	// mixing tagged and untagged entries.
+	p.Mode = core.DeliverConflictAware
+	p.ConflictRate = 0.5
 
 	counts := make(map[netsim.Kind]int)
 	frames := 0

@@ -77,6 +77,16 @@ const (
 //                       may exceed the cap: overflow must spill to the
 //                       cold store, never grow the heap (bounded receiver
 //                       memory).
+// 15. conflict-pair-order — under DeliverConflictAware, any two deliveries
+//                       carrying the same nonzero conflict key appear in
+//                       (ts, src) order at every receiver, and every pair
+//                       of receivers agrees on the relative order of their
+//                       common same-key scatterings (the Generic Multicast
+//                       contract: declared-conflicting messages keep the
+//                       total order even though untagged traffic is
+//                       relaxed). The implementation orders ALL tagged
+//                       messages mutually — a coarser relation — so this
+//                       checks the declared relation it subsumes.
 func Check(r *Result) []Violation {
 	var out []Violation
 	add := func(inv, format string, args ...any) {
@@ -130,7 +140,66 @@ func Check(r *Result) []Violation {
 	checkJoinSuffix(r, exempt, add)
 	checkDrains(r, add)
 	checkHotBufferBound(r, add)
+	checkConflictPairs(r, exempt, add)
 	return out
+}
+
+// checkConflictPairs enforces invariant 15: per receiver, the subsequence
+// of deliveries sharing one nonzero conflict key is sorted by the global
+// (ts, src) key, and any two receivers order their common same-key
+// scatterings identically. Forwarded and partition-window scatterings are
+// exempt from the cross-receiver half, exactly as in pairwise-order (§5.2
+// Controller Forwarding is only locally ordered).
+func checkConflictPairs(r *Result, exempt func(MsgID) bool, add func(string, string, ...any)) {
+	if r.Plan.Mode != core.DeliverConflictAware {
+		return
+	}
+	subseq := func(log []DeliveryRec) map[uint32][]DeliveryRec {
+		m := make(map[uint32][]DeliveryRec)
+		for _, d := range log {
+			if d.Conflict != 0 {
+				m[d.Conflict] = append(m[d.Conflict], d)
+			}
+		}
+		return m
+	}
+	keyed := make([]map[uint32][]DeliveryRec, len(r.Deliveries))
+	for pi, log := range r.Deliveries {
+		keyed[pi] = subseq(log)
+		for key, sub := range keyed[pi] {
+			for i := 1; i < len(sub); i++ {
+				if keyLess(sub[i], sub[i-1]) {
+					add("conflict-pair-order",
+						"receiver %d: conflicting (key=%d) %v/src=%d (id=%v) delivered after %v/src=%d",
+						pi, key, sub[i].TS, sub[i].Src, sub[i].ID, sub[i-1].TS, sub[i-1].Src)
+				}
+			}
+		}
+	}
+	for a := 0; a < len(keyed); a++ {
+		for key, sa := range keyed[a] {
+			idx := make(map[MsgID]int, len(sa))
+			for i, d := range sa {
+				idx[d.ID] = i
+			}
+			for b := a + 1; b < len(keyed); b++ {
+				last, lastID := -1, MsgID{}
+				for _, d := range keyed[b][key] {
+					i, common := idx[d.ID]
+					if !common || exempt(d.ID) {
+						continue
+					}
+					if i < last {
+						add("conflict-pair-order",
+							"receivers %d and %d disagree on key=%d: %v before %v at one, after at the other",
+							a, b, key, d.ID, lastID)
+						break
+					}
+					last, lastID = i, d.ID
+				}
+			}
+		}
+	}
 }
 
 // checkHotBufferBound asserts the bounded-memory contract of hybrid reorder
@@ -301,10 +370,22 @@ func keyLess(a, b DeliveryRec) bool {
 func keyEq(a, b DeliveryRec) bool { return a.TS == b.TS && a.Src == b.Src }
 
 // classStreams splits a log the way the delivery mode defines order: one
-// merged stream under DeliverUnified, one stream per plane otherwise.
+// merged stream under DeliverUnified; under DeliverConflictAware one merged
+// stream of the tagged (nonzero-key) deliveries — untagged messages opted
+// out of the cross-class order and carry no ordering obligation; one stream
+// per plane otherwise.
 func classStreams(mode core.DeliveryMode, log []DeliveryRec) [][]DeliveryRec {
-	if mode == core.DeliverUnified {
+	switch mode {
+	case core.DeliverUnified:
 		return [][]DeliveryRec{log}
+	case core.DeliverConflictAware:
+		var tagged []DeliveryRec
+		for _, d := range log {
+			if d.Conflict != 0 {
+				tagged = append(tagged, d)
+			}
+		}
+		return [][]DeliveryRec{tagged}
 	}
 	var be, rel []DeliveryRec
 	for _, d := range log {
@@ -364,14 +445,29 @@ func checkPairwiseOrder(r *Result, exempt func(MsgID) bool, add func(string, str
 
 func checkCausalityAndGate(r *Result, add func(string, string, ...any)) {
 	unified := r.Plan.Mode == core.DeliverUnified
+	ca := r.Plan.Mode == core.DeliverConflictAware
 	for pi, log := range r.Deliveries {
 		for _, d := range log {
+			if ca && d.Conflict == 0 && !d.Reliable {
+				// Untagged best-effort under DeliverConflictAware delivers
+				// immediately on reassembly — before the barrier covers it,
+				// and (under clock skew) possibly before the receiver's clock
+				// passes its timestamp. That is the declared relaxation.
+				continue
+			}
 			if d.ClockAt < d.TS {
 				add("causality", "receiver %d delivered ts=%v with local clock %v (id=%v)",
 					pi, d.TS, d.ClockAt, d.ID)
 			}
 			switch {
-			case unified:
+			case ca && d.Conflict == 0:
+				// Untagged reliable: gated by the commit barrier alone (the
+				// §5.2 recall window), outside the cross-class order.
+				if d.TS > d.BarC {
+					add("barrier-gate", "receiver %d: relaxed reliable delivery ts=%v above commit barrier %v (id=%v)",
+						pi, d.TS, d.BarC, d.ID)
+				}
+			case unified || ca:
 				if d.TS > d.BarBE-1 || d.TS > d.BarC {
 					add("barrier-gate", "receiver %d: unified delivery ts=%v above barriers (be=%v c=%v, id=%v)",
 						pi, d.TS, d.BarBE, d.BarC, d.ID)

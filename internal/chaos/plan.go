@@ -165,6 +165,13 @@ type Plan struct {
 	// netsim — used only by the harness's own detection self-test.
 	NonuniformPipeline bool
 
+	// ConflictRate is the probability a workload scattering is tagged with a
+	// nonzero conflict key (drawn from a dedicated RNG stream, so the base
+	// workload is unchanged). Meaningful with Mode DeliverConflictAware;
+	// crafted-scenario knob, seed derivation never sets it, so existing
+	// golden digests are unaffected.
+	ConflictRate float64
+
 	// Joins and Drains schedule live membership changes (epoch-based
 	// reconfiguration). Seed derivation never sets them — like BatchWindow
 	// they are crafted-scenario knobs, so existing golden digests are

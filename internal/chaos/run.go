@@ -33,6 +33,10 @@ type DeliveryRec struct {
 	ClockAt  sim.Time
 	BarBE    sim.Time
 	BarC     sim.Time
+	// Conflict is the delivered message's conflict key (annotation for the
+	// conflict-pair checker; deliberately NOT hashed by Digest, so tagging
+	// an existing plan cannot move its golden digest through this field).
+	Conflict uint32
 }
 
 // SendRec is one submitted scattering.
@@ -48,6 +52,9 @@ type SendRec struct {
 	// already known failed, host stopped); refused sends carry no
 	// delivery obligation.
 	Refused bool
+	// Conflict is the conflict key the scattering was tagged with (0 when
+	// untagged or when the plan's ConflictRate is zero).
+	Conflict uint32
 }
 
 // Window is a half-open fault interval [Start, End).
@@ -239,6 +246,7 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			res.Deliveries[i] = append(res.Deliveries[i], DeliveryRec{
 				TS: d.TS, Src: d.Src, ID: d.Data.(MsgID), Reliable: d.Reliable,
 				ClockAt: proc.Timestamp(), BarBE: be, BarC: c,
+				Conflict: d.Conflict,
 			})
 		}
 		proc.OnSendFail = func(sf core.SendFailure) {
@@ -304,12 +312,21 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 			msgs = append(msgs, core.Message{Dst: dst, Data: id, Size: p.Workload.MsgBytes})
 		}
 		reliable := wrng.Float64() < p.Workload.ReliableFrac
-		rec := SendRec{ID: id, Src: proc.ID, Reliable: reliable, At: proc.Timestamp()}
+		// The conflict draw happens only on plans that opt in, so the RNG
+		// stream — and with it every existing golden digest — is untouched
+		// when ConflictRate is zero.
+		var ckey uint32
+		if p.ConflictRate > 0 && wrng.Float64() < p.ConflictRate {
+			ckey = 1 + uint32(wrng.Intn(4))
+		}
+		rec := SendRec{ID: id, Src: proc.ID, Reliable: reliable, At: proc.Timestamp(), Conflict: ckey}
 		for _, m := range msgs {
 			rec.Dsts = append(rec.Dsts, m.Dst)
 		}
 		var err error
-		if reliable {
+		if p.ConflictRate > 0 {
+			err = proc.SendOpts(msgs, core.SendOptions{Reliable: reliable, ConflictKey: ckey})
+		} else if reliable {
 			err = proc.SendReliable(msgs)
 		} else {
 			err = proc.Send(msgs)

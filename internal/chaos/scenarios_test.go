@@ -121,6 +121,116 @@ func TestScenarioPartitionForwarding(t *testing.T) {
 	}
 }
 
+// TestScenarioConflictAwareCrashRecall mixes conflict-aware delivery with
+// the §5.2 failure machinery: half the workload is tagged, a host fail-stops
+// mid-workload under a loss burst, and the surviving senders recall live
+// scattering members — some of which sit untagged in the relaxed queue and
+// must be discarded by the recall exactly like ordered ones. A graceful
+// drain rides along so invariant 15 also sees a membership departure. The
+// run must be deterministic (replay digest equal), uphold the full invariant
+// catalog including conflict-pair-order, and actually exercise both the
+// relaxed delivery path and the recall path.
+func TestScenarioConflictAwareCrashRecall(t *testing.T) {
+	p := craftedPlan(13,
+		Fault{At: 1100 * sim.Microsecond, Kind: FaultLossBurst, Dur: 600 * sim.Microsecond, Rate: 0.15},
+		Fault{At: 1500 * sim.Microsecond, Kind: FaultHostCrash, Host: 2},
+	)
+	p.Mode = core.DeliverConflictAware
+	p.ConflictRate = 0.5
+	p.Drains = []DrainEvent{{At: 2400 * sim.Microsecond, Host: 4}}
+	r := runSeed(t, p)
+	if vios := Check(r); len(vios) > 0 {
+		failSeed(t, p, vios)
+	}
+	if r.Stats.RelaxedDeliveries == 0 {
+		t.Fatal("no relaxed deliveries — untagged traffic never left the total order")
+	}
+	if r.Stats.Recalled == 0 {
+		t.Fatal("no scattering was recalled — the abort path never ran")
+	}
+	tagged, untagged := 0, 0
+	for _, log := range r.Deliveries {
+		for _, d := range log {
+			if d.Conflict != 0 {
+				tagged++
+			} else {
+				untagged++
+			}
+		}
+	}
+	if tagged == 0 || untagged == 0 {
+		t.Fatalf("one-sided mix (tagged=%d untagged=%d) — conflict rate wired wrong", tagged, untagged)
+	}
+}
+
+// TestScenarioConflictAwareDegeneracy is the degeneracy spine at cluster
+// scale and under faults: with EVERY scattering tagged (ConflictRate 1), a
+// conflict-aware run of a crafted crash schedule must produce a delivery-log
+// digest byte-identical to the same plan under DeliverUnified — the relaxed
+// machinery must be invisible when the conflict relation is total.
+func TestScenarioConflictAwareDegeneracy(t *testing.T) {
+	mk := func(mode core.DeliveryMode) Plan {
+		p := craftedPlan(17, Fault{At: 1500 * sim.Microsecond, Kind: FaultHostCrash, Host: 4})
+		p.Mode = mode
+		p.ConflictRate = 1
+		return p
+	}
+	ca := Run(mk(core.DeliverConflictAware))
+	uni := Run(mk(core.DeliverUnified))
+	if vios := Check(ca); len(vios) > 0 {
+		failSeed(t, mk(core.DeliverConflictAware), vios)
+	}
+	if ca.Digest() != uni.Digest() {
+		t.Fatalf("all-tagged conflict-aware digest %s != unified digest %s — degeneracy broken",
+			ca.Digest()[:16], uni.Digest()[:16])
+	}
+	if ca.TotalDeliveries() == 0 {
+		t.Fatal("no deliveries — degeneracy vacuous")
+	}
+}
+
+// TestScenarioConflictCheckerSensitivity is invariant 15's negative control:
+// corrupting a conflict-aware run's log — two same-key deliveries swapped at
+// one receiver — must trip conflict-pair-order.
+func TestScenarioConflictCheckerSensitivity(t *testing.T) {
+	p := craftedPlan(19)
+	p.Mode = core.DeliverConflictAware
+	p.ConflictRate = 0.7
+	r := Run(p)
+	if vios := Check(r); len(vios) > 0 {
+		t.Fatalf("clean run already fails: %v", vios)
+	}
+	swapped := false
+outer:
+	for _, log := range r.Deliveries {
+		byKey := map[uint32][]int{}
+		for i, d := range log {
+			if d.Conflict == 0 {
+				continue
+			}
+			byKey[d.Conflict] = append(byKey[d.Conflict], i)
+			if idx := byKey[d.Conflict]; len(idx) >= 2 {
+				a, b := idx[len(idx)-2], idx[len(idx)-1]
+				log[a], log[b] = log[b], log[a]
+				swapped = true
+				break outer
+			}
+		}
+	}
+	if !swapped {
+		t.Fatal("no same-key pair to corrupt — scenario exercises nothing")
+	}
+	hit := false
+	for _, v := range Check(r) {
+		if v.Invariant == "conflict-pair-order" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Fatal("swapped same-key pair did not trip conflict-pair-order — checker is blind")
+	}
+}
+
 // TestScenarioCheckerSensitivity is the checkers' own negative control: a
 // corrupted delivery log (one receiver's entries swapped, one duplicated,
 // one delivered below the announced barrier) must trip the corresponding

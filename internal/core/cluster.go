@@ -115,6 +115,7 @@ func (cl *Cluster) TotalStats() HostStats {
 		t.Backpressure += h.Stats.Backpressure
 		t.DeliverBatches += h.Stats.DeliverBatches
 		t.ReorderSpills += h.Stats.ReorderSpills
+		t.RelaxedDeliveries += h.Stats.RelaxedDeliveries
 		t.ConnsLive += h.Stats.ConnsLive
 		t.ConnsEvicted += h.Stats.ConnsEvicted
 		if h.Stats.MaxBufferBytes > t.MaxBufferBytes {

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"onepipe/internal/netsim"
+	"onepipe/internal/sim"
+	"onepipe/internal/topology"
+)
+
+// TestConflictAwareDegeneratesToUnified is the spine of the conflict-aware
+// mode: with EVERY message tagged (any nonzero key), DeliverConflictAware
+// must degenerate to DeliverUnified exactly — same seed, same workload, and
+// per-host delivery logs identical element by element. The key assignment is
+// a pure function of the message ID, so both runs consume the same
+// randomness; any divergence means tagged traffic took a code path unified
+// traffic would not (e.g. a floor the relaxed machinery forgot to advance).
+func TestConflictAwareDegeneratesToUnified(t *testing.T) {
+	seeds := int64(20)
+	if testing.Short() {
+		seeds = 5
+	}
+	allTagged := func(id int64) uint32 { return 1 + uint32(id%7) }
+	for seed := int64(1); seed <= seeds; seed++ {
+		uni := runKeyedWorkload(t, DeliverUnified, seed, allTagged)
+		ca := runKeyedWorkload(t, DeliverConflictAware, seed, allTagged)
+		if len(uni) != len(ca) {
+			t.Fatalf("seed %d: process count differs (%d vs %d)", seed, len(uni), len(ca))
+		}
+		total := 0
+		for pi := range uni {
+			if len(uni[pi]) != len(ca[pi]) {
+				t.Fatalf("seed %d proc %d: log length %d (unified) vs %d (conflict-aware)",
+					seed, pi, len(uni[pi]), len(ca[pi]))
+			}
+			total += len(uni[pi])
+			for j := range uni[pi] {
+				if uni[pi][j] != ca[pi][j] {
+					t.Fatalf("seed %d proc %d entry %d: unified %+v vs conflict-aware %+v",
+						seed, pi, j, uni[pi][j], ca[pi][j])
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("seed %d: no deliveries — degeneracy vacuous", seed)
+		}
+	}
+}
+
+// TestConflictPairOrdering is the positive property of the relaxation: with
+// a random mix of tagged and untagged scatterings under DeliverConflictAware,
+// (a) any two deliveries sharing a nonzero conflict key appear in (ts, src)
+// order at every receiver, (b) every pair of receivers agrees on the
+// relative order of their common same-key scatterings, and (c) at least one
+// untagged pair is actually delivered out of the global order somewhere —
+// otherwise the relaxation bought nothing and the test is vacuous.
+func TestConflictPairOrdering(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	// Roughly a third untagged, the rest spread over four conflict classes.
+	keyFor := func(id int64) uint32 {
+		if id%3 == 0 {
+			return 0
+		}
+		return 1 + uint32(id%4)
+	}
+	samekeyPairs, untaggedInversions := 0, 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		logs := runKeyedWorkload(t, DeliverConflictAware, seed, keyFor)
+		keyed := make([]map[uint32][]propRec, len(logs))
+		for pi, l := range logs {
+			// (a) per-receiver same-key subsequences sorted by (ts, src).
+			keyed[pi] = map[uint32][]propRec{}
+			for _, d := range l {
+				if want := keyFor(d.id); d.conflict != want {
+					t.Fatalf("seed %d proc %d: id=%d delivered with key %d, tagged %d",
+						seed, pi, d.id, d.conflict, want)
+				}
+				if d.conflict != 0 {
+					keyed[pi][d.conflict] = append(keyed[pi][d.conflict], d)
+				}
+			}
+			for key, sub := range keyed[pi] {
+				samekeyPairs += len(sub) * (len(sub) - 1) / 2
+				if j, ok := sortedByKey(sub); !ok {
+					t.Fatalf("seed %d proc %d key %d: conflicting pair out of order at %d: %v then %v",
+						seed, pi, key, j, sub[j-1], sub[j])
+				}
+			}
+			// (c) count untagged deliveries breaking the merged (ts, src)
+			// order — the latency the relaxation actually harvested.
+			for j := 1; j < len(l); j++ {
+				a, b := l[j-1], l[j]
+				if (b.ts < a.ts || (b.ts == a.ts && b.src < a.src)) && (a.conflict == 0 || b.conflict == 0) {
+					untaggedInversions++
+				}
+			}
+		}
+		// (b) cross-receiver agreement per key.
+		for a := 0; a < len(keyed); a++ {
+			for key, sa := range keyed[a] {
+				idx := make(map[int64]int, len(sa))
+				for i, d := range sa {
+					idx[d.id] = i
+				}
+				for b := a + 1; b < len(keyed); b++ {
+					last := -1
+					for _, d := range keyed[b][key] {
+						i, common := idx[d.id]
+						if !common {
+							continue
+						}
+						if i < last {
+							t.Fatalf("seed %d: receivers %d and %d disagree on key %d order", seed, a, b, key)
+						}
+						last = i
+					}
+				}
+			}
+		}
+	}
+	if samekeyPairs == 0 {
+		t.Fatalf("no same-key delivery pair in %d seeds — conflict ordering tested nothing", seeds)
+	}
+	if untaggedInversions == 0 {
+		t.Fatalf("no untagged delivery left the global order in %d seeds — the relaxation is inert", seeds)
+	}
+}
+
+// TestConflictAwareUntaggedNoOrder is the negative control in the style of
+// TestSeparatePerPlaneOrderOnly: with NOTHING tagged, DeliverConflictAware
+// promises no cross-message order at all — at least one receiver's merged
+// log must exhibit an inversion across the seeds (otherwise untagged traffic
+// is secretly still paying the barrier wait), while at-most-once delivery
+// must survive unconditionally.
+func TestConflictAwareUntaggedNoOrder(t *testing.T) {
+	seeds := int64(12)
+	if testing.Short() {
+		seeds = 4
+	}
+	untagged := func(int64) uint32 { return 0 }
+	inversions := 0
+	for seed := int64(1); seed <= seeds; seed++ {
+		logs := runKeyedWorkload(t, DeliverConflictAware, seed, untagged)
+		total := 0
+		for pi, l := range logs {
+			total += len(l)
+			seen := make(map[int64]bool, len(l))
+			for _, d := range l {
+				if seen[d.id] {
+					t.Fatalf("seed %d proc %d: id=%d delivered twice", seed, pi, d.id)
+				}
+				seen[d.id] = true
+			}
+			if _, ok := sortedByKey(l); !ok {
+				inversions++
+			}
+		}
+		if total == 0 {
+			t.Fatalf("seed %d: no deliveries", seed)
+		}
+	}
+	if inversions == 0 {
+		t.Fatalf("no merged-order inversion in %d untagged conflict-aware seeds — relaxed delivery never fired", seeds)
+	}
+}
+
+// TestConflictAwareRelaxedLatency pins the latency claim behind the mode: on
+// an otherwise idle cluster, an untagged best-effort message delivers
+// strictly earlier than the same message tagged (the tagged one waits for
+// the barriers to cover its timestamp; the untagged one delivers on
+// reassembly, the paper's 0.5 RTT floor).
+func TestConflictAwareRelaxedLatency(t *testing.T) {
+	oneShot := func(key uint32) sim.Time {
+		cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1}, 1)
+		cfg.Seed = 1
+		ccfg := DefaultConfig()
+		ccfg.Mode = DeliverConflictAware
+		cl := Deploy(netsim.New(cfg), ccfg)
+		eng := cl.Net.Eng
+		sent := 10 * sim.Microsecond
+		var latency sim.Time = -1
+		cl.Procs[3].OnDeliver = func(d Delivery) {
+			if latency < 0 {
+				latency = eng.Now() - sent
+			}
+		}
+		eng.At(sent, func() {
+			if err := cl.Proc(0).SendOpts([]Message{{Dst: 3, Data: int64(1), Size: 64}}, SendOptions{ConflictKey: key}); err != nil {
+				t.Errorf("key=%d: send failed: %v", key, err)
+			}
+		})
+		cl.Run(300 * sim.Microsecond)
+		if latency < 0 {
+			t.Fatalf("key=%d: message never delivered", key)
+		}
+		return latency
+	}
+	relaxed := oneShot(0)
+	tagged := oneShot(9)
+	if relaxed >= tagged {
+		t.Fatalf("untagged latency %v not below tagged latency %v — relaxation inert", relaxed, tagged)
+	}
+}

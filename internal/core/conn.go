@@ -449,6 +449,7 @@ func (c *conn) buildPacket(op *outPkt, psn uint32) *netsim.Packet {
 	pkt.Dst = c.key.dst
 	pkt.MsgTS = s.ts
 	pkt.Reliable = s.reliable
+	pkt.ConflictKey = s.conflict
 	pkt.PSN = psn
 	pkt.FragIdx = uint16(op.frag)
 	pkt.EndOfMsg = op.endOfMsg
@@ -477,10 +478,11 @@ func (c *conn) buildUnit(head *outPkt) *netsim.Packet {
 			continue
 		}
 		f.Entries = append(f.Entries, netsim.FrameEntry{
-			TS:     m.scat.ts,
-			PSNOff: uint16(m.psn - head.psn),
-			Size:   m.size,
-			Data:   m.scat.msgs[m.msgIdx].Data,
+			TS:          m.scat.ts,
+			PSNOff:      uint16(m.psn - head.psn),
+			Size:        m.size,
+			ConflictKey: m.scat.conflict,
+			Data:        m.scat.msgs[m.msgIdx].Data,
 		})
 		size += m.size + netsim.FrameEntryBytes
 	}
@@ -495,6 +497,7 @@ func (c *conn) buildUnit(head *outPkt) *netsim.Packet {
 	pkt.Dst = c.key.dst
 	pkt.MsgTS = f.Entries[0].TS
 	pkt.Reliable = head.scat.reliable
+	pkt.ConflictKey = f.Entries[0].ConflictKey
 	pkt.PSN = head.psn
 	pkt.EndOfMsg = true
 	pkt.Frame = true
@@ -580,6 +583,9 @@ type scattering struct {
 	reliable bool
 	msgs     []Message
 	ts       sim.Time
+	// conflict is the sender-declared conflict key; every packet and frame
+	// entry of the scattering carries it (DeliverConflictAware).
+	conflict uint32
 	launched bool
 	aborted  bool
 	done     bool

@@ -69,6 +69,9 @@ type HostStats struct {
 	BufferedBytes     int64  // current reorder-buffer occupancy
 	MaxBufferBytes    int64
 	BufferedMsgs      int64
+	// RelaxedDeliveries counts deliveries that bypassed the cross-class
+	// total order: untagged messages under DeliverConflictAware.
+	RelaxedDeliveries uint64
 	// Hybrid reorder buffering and lazy connection lifecycle gauges.
 	ReorderSpills   uint64 // entries that overflowed a hot heap into the cold store
 	ReorderHotBytes int64  // current hot-heap occupancy across both planes, bytes
@@ -116,7 +119,10 @@ type Host struct {
 	rconns      map[connKey]*rconn
 	barrierBE   sim.Time
 	barrierC    sim.Time
-	beQ, relQ   reorderBuf
+	// beQ/relQ order the two reliability planes; rlxQ holds untagged
+	// reliable traffic under DeliverConflictAware, drained by the commit
+	// barrier alone (outside the cross-class order).
+	beQ, relQ, rlxQ reorderBuf
 	deliveredBE sim.Time
 	deliveredC  sim.Time
 	// Lazy connection lifecycle: evicted peers leave a tiny PSN cursor
@@ -195,6 +201,7 @@ func NewHost(id int, wire Wire, cfg Config) *Host {
 	}
 	h.beQ.cap = h.Cfg.ReorderHotCap
 	h.relQ.cap = h.Cfg.ReorderHotCap
+	h.rlxQ.cap = h.Cfg.ReorderHotCap
 	return h
 }
 
@@ -585,6 +592,7 @@ func (h *Host) send(p *Proc, msgs []Message, o SendOptions) error {
 		return ErrSendBufferFull
 	}
 	s := newScattering(p, msgs, o.Reliable, h.Cfg.MTU)
+	s.conflict = o.ConflictKey
 	if win := h.batchWindow(o); win > 0 && s.totalPkts == len(s.msgs) &&
 		(o.Reliable || !h.Cfg.DisableBEAck) {
 		// Single-fragment messages with batching on: fragments may

@@ -74,7 +74,8 @@ func (h *Host) discardFrom(failed map[netsim.ProcID]sim.Time) {
 	}
 	h.beQ.filter(drop)
 	h.relQ.filter(drop)
-	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
+	h.rlxQ.filter(drop)
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes + h.rlxQ.hotBytes
 	// Partial reassembly state from failed processes is dropped wholesale:
 	// no further fragments will arrive.
 	for key, rc := range h.rconns {
@@ -310,15 +311,19 @@ func (h *Host) ApplyRecallTombstone(sender netsim.ProcID, ts sim.Time) {
 }
 
 func (h *Host) removeBuffered(src netsim.ProcID, ts sim.Time) {
-	h.relQ.filter(func(p *pending) bool {
+	drop := func(p *pending) bool {
 		if p.src == src && p.ts == ts {
 			h.Stats.BufferedMsgs--
 			h.Stats.BufferedBytes -= int64(p.size)
 			return true
 		}
 		return false
-	})
-	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
+	}
+	h.relQ.filter(drop)
+	// Untagged reliable members of a recalled scattering sit in rlxQ under
+	// DeliverConflictAware; the recall covers them too (§5.2 atomicity).
+	h.rlxQ.filter(drop)
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes + h.rlxQ.hotBytes
 	// Buffered fragments of the recalled message are consumed unseen.
 	for key, rc := range h.rconns {
 		if key.src != src {

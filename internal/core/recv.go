@@ -16,6 +16,9 @@ type pending struct {
 	data     any
 	size     int
 	reliable bool
+	// conflict is the sender-declared conflict key (DeliverConflictAware);
+	// 0 = declared non-conflicting.
+	conflict uint32
 	// enqAt is the reassembly-complete time, recorded only while tracing;
 	// the enqueue → deliver gap is the barrier wait (obs.SpanBarrierWait).
 	enqAt sim.Time
@@ -492,8 +495,12 @@ func (h *Host) handleData(pkt *netsim.Packet) {
 	// Ordering check: a best-effort packet whose message timestamp can no
 	// longer be delivered in order is dropped with a NAK to the sender
 	// (§4.1); a reliable packet at or below the delivered commit floor is
-	// a duplicate of a committed message.
-	if !pkt.Reliable && pkt.MsgTS < h.deliveredFloorBE() {
+	// a duplicate of a committed message. Untagged conflict-aware traffic
+	// is exempt from both: it delivers outside the total order, so it can
+	// never be "too late", and the tagged-only delivered floors say nothing
+	// about it (PSN dedup above already covers retransmissions).
+	relaxed := h.relaxedKey(pkt.ConflictKey)
+	if !relaxed && !pkt.Reliable && pkt.MsgTS < h.deliveredFloorBE() {
 		h.Stats.Naks++
 		nak := netsim.GetPacket()
 		nak.Kind, nak.Src, nak.Dst = netsim.KindNak, pkt.Dst, pkt.Src
@@ -503,7 +510,7 @@ func (h *Host) handleData(pkt *netsim.Packet) {
 		netsim.PutPacket(pkt)
 		return
 	}
-	if pkt.Reliable && pkt.MsgTS <= h.deliveredC {
+	if !relaxed && pkt.Reliable && pkt.MsgTS <= h.deliveredC {
 		h.Stats.DupPkts++
 		h.ackPacket(pkt)
 		buf.skip(pkt)
@@ -541,12 +548,27 @@ func (h *Host) handleFrame(pkt *netsim.Packet) {
 	}
 	// Ordering check (§4.1): entries ascend, so the frame's oldest member
 	// decides whether the whole unit can still be delivered in order. The
-	// sender fails every member of a NAKed frame.
-	if !pkt.Reliable && f.Entries[0].TS < h.deliveredFloorBE() {
+	// sender fails every member of a NAKed frame. Under DeliverConflictAware
+	// only tagged members are order-constrained, so the oldest *tagged*
+	// member decides; untagged members share the frame's fate either way
+	// (the same shared-fate rule a lost frame already imposes). With every
+	// member tagged, the oldest tagged member IS Entries[0] — identical to
+	// the unified decision.
+	gate := 0
+	if h.Cfg.Mode == DeliverConflictAware {
+		gate = -1
+		for i := range f.Entries {
+			if f.Entries[i].ConflictKey != 0 {
+				gate = i
+				break
+			}
+		}
+	}
+	if !pkt.Reliable && gate >= 0 && f.Entries[gate].TS < h.deliveredFloorBE() {
 		h.Stats.Naks++
 		nak := netsim.GetPacket()
 		nak.Kind, nak.Src, nak.Dst = netsim.KindNak, pkt.Dst, pkt.Src
-		nak.PSN, nak.MsgTS, nak.Size = pkt.PSN, f.Entries[0].TS, netsim.BeaconBytes
+		nak.PSN, nak.MsgTS, nak.Size = pkt.PSN, f.Entries[gate].TS, netsim.BeaconBytes
 		h.emit(nak)
 		buf.markDoneSpan(pkt.PSN, f.Span)
 		netsim.PutPacket(pkt)
@@ -557,12 +579,12 @@ func (h *Host) handleFrame(pkt *netsim.Packet) {
 	enq := 0
 	for i := range f.Entries {
 		e := &f.Entries[i]
-		if pkt.Reliable && e.TS <= h.deliveredC {
+		if pkt.Reliable && e.TS <= h.deliveredC && !h.relaxedKey(e.ConflictKey) {
 			h.Stats.DupPkts++ // retransmitted member of a committed frame
 			continue
 		}
 		h.enqueuePending(e.TS, pkt.Src, pkt.Dst, pkt.PSN+uint32(e.PSNOff),
-			e.Data, e.Size, pkt.Reliable, pkt.QueueWait)
+			e.Data, e.Size, pkt.Reliable, e.ConflictKey, pkt.QueueWait)
 		enq++
 	}
 	netsim.PutPacket(pkt)
@@ -572,10 +594,19 @@ func (h *Host) handleFrame(pkt *netsim.Packet) {
 }
 
 func (h *Host) deliveredFloorBE() sim.Time {
-	if h.Cfg.Mode == DeliverUnified && h.deliveredC > h.deliveredBE {
+	if (h.Cfg.Mode == DeliverUnified || h.Cfg.Mode == DeliverConflictAware) &&
+		h.deliveredC > h.deliveredBE {
 		return h.deliveredC
 	}
 	return h.deliveredBE
+}
+
+// relaxedKey reports whether a message with the given conflict key is
+// delivered outside the total order: DeliverConflictAware mode with an
+// untagged (key 0) message. Tagged messages — and every message in the
+// other modes — go through the ordinary ordered paths.
+func (h *Host) relaxedKey(key uint32) bool {
+	return h.Cfg.Mode == DeliverConflictAware && key == 0
 }
 
 // ackBatch is the payload of a coalesced ACK: per-PSN entries with their
@@ -644,14 +675,16 @@ func (h *Host) flushAcks(k ackKey) {
 
 func (h *Host) enqueueMsg(pkt *netsim.Packet, size int) {
 	h.enqueuePending(pkt.MsgTS, pkt.Src, pkt.Dst, pkt.PSN, pkt.Payload,
-		size, pkt.Reliable, pkt.QueueWait)
+		size, pkt.Reliable, pkt.ConflictKey, pkt.QueueWait)
 }
 
 func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
-	data any, size int, reliable bool, queueWait sim.Time) {
+	data any, size int, reliable bool, conflict uint32, queueWait sim.Time) {
 	// Discard semantics of failure handling (§5.2): messages from a
 	// failed process beyond its failure timestamp are never delivered,
-	// and recalled scattering members are tombstoned.
+	// and recalled scattering members are tombstoned. These bind the
+	// relaxed (untagged conflict-aware) classes too: atomicity is not
+	// traded away by relaxing order.
 	if failTS, dead := h.failedPeers[src]; dead && ts > failTS {
 		return
 	}
@@ -660,7 +693,7 @@ func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
 	}
 	p := &pending{
 		ts: ts, src: src, dst: dst, psn: psn,
-		data: data, size: size, reliable: reliable,
+		data: data, size: size, reliable: reliable, conflict: conflict,
 	}
 	if h.Obs.On() {
 		p.enqAt = h.wire.Now()
@@ -669,14 +702,29 @@ func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
 		h.Obs.Rec(obs.SpanNetTransit, p.enqAt-p.ts)
 		h.Obs.Rec(obs.SpanSwitchQueue, queueWait)
 	}
-	q := &h.beQ
-	if p.reliable {
+	var q *reorderBuf
+	switch {
+	case h.relaxedKey(conflict) && !reliable:
+		// Untagged best-effort under DeliverConflictAware: locally stable
+		// the moment reassembly completes — deliver immediately, no barrier
+		// wait, outside the total order (0.5 RTT, the Generic Multicast
+		// fast path).
+		h.deliverNow(p)
+		return
+	case h.relaxedKey(conflict):
+		// Untagged reliable: buffered until the commit barrier covers it,
+		// so the §5.2 recall window still guards failure atomicity, but
+		// outside the cross-class order (its own queue, no floor updates).
+		q = &h.rlxQ
+	case reliable:
 		q = &h.relQ
+	default:
+		q = &h.beQ
 	}
 	if q.push(p) {
 		h.Stats.ReorderSpills++
 	}
-	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes + h.rlxQ.hotBytes
 	if hot := int64(len(q.hot)); hot > h.Stats.ReorderHotMax {
 		h.Stats.ReorderHotMax = hot
 	}
@@ -695,7 +743,7 @@ func (h *Host) enqueuePending(ts sim.Time, src, dst netsim.ProcID, psn uint32,
 // a delivery batch flushed through OnDeliverBatch at the end of the drain.
 func (h *Host) drain() {
 	h.drainQueues()
-	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes
+	h.Stats.ReorderHotBytes = h.beQ.hotBytes + h.relQ.hotBytes + h.rlxQ.hotBytes
 	h.flushDeliveries()
 }
 
@@ -709,35 +757,51 @@ func (h *Host) drainQueues() {
 			h.deliver(h.relQ.pop())
 		}
 	case DeliverUnified:
-		eff := h.barrierBE - 1
-		if h.barrierC < eff {
-			eff = h.barrierC
+		h.drainMerged()
+	case DeliverConflictAware:
+		// Tagged traffic is exactly the unified merged stream (the queues
+		// hold only tagged entries in this mode); untagged reliable drains
+		// from its own queue once the commit barrier covers it, outside
+		// the cross-class order.
+		h.drainMerged()
+		for h.rlxQ.Len() > 0 && h.rlxQ.top().ts <= h.barrierC {
+			h.deliverRelaxed(h.rlxQ.pop())
 		}
-		for {
-			var q *reorderBuf
-			switch {
-			case h.beQ.Len() == 0 && h.relQ.Len() == 0:
-				return
-			case h.beQ.Len() == 0:
-				q = &h.relQ
-			case h.relQ.Len() == 0:
+	}
+}
+
+// drainMerged delivers the single cross-class total order of DeliverUnified:
+// both queues gated on min(barrierBE-1, barrierC), merged on the full
+// (ts, src, psn) key.
+func (h *Host) drainMerged() {
+	eff := h.barrierBE - 1
+	if h.barrierC < eff {
+		eff = h.barrierC
+	}
+	for {
+		var q *reorderBuf
+		switch {
+		case h.beQ.Len() == 0 && h.relQ.Len() == 0:
+			return
+		case h.beQ.Len() == 0:
+			q = &h.relQ
+		case h.relQ.Len() == 0:
+			q = &h.beQ
+		default:
+			// Cross-queue tie-break on the full (ts, src, psn) key: when a
+			// best-effort and a reliable entry from the same sender share a
+			// timestamp, the PSN decides — always preferring one queue here
+			// would violate the documented total order.
+			if a, b := h.beQ.top(), h.relQ.top(); !pendingLess(b, a) {
 				q = &h.beQ
-			default:
-				// Cross-queue tie-break on the full (ts, src, psn) key: when a
-				// best-effort and a reliable entry from the same sender share a
-				// timestamp, the PSN decides — always preferring one queue here
-				// would violate the documented total order.
-				if a, b := h.beQ.top(), h.relQ.top(); !pendingLess(b, a) {
-					q = &h.beQ
-				} else {
-					q = &h.relQ
-				}
+			} else {
+				q = &h.relQ
 			}
-			if q.top().ts > eff {
-				return
-			}
-			h.deliver(q.pop())
 		}
+		if q.top().ts > eff {
+			return
+		}
+		h.deliver(q.pop())
 	}
 }
 
@@ -749,7 +813,10 @@ func (h *Host) deliver(p *pending) {
 	} else if p.ts > h.deliveredBE {
 		h.deliveredBE = p.ts
 	}
-	if h.Cfg.Mode == DeliverUnified {
+	if h.Cfg.Mode == DeliverUnified || h.Cfg.Mode == DeliverConflictAware {
+		// One merged order: both floors advance together. Under conflict-
+		// aware delivery only tagged entries reach this path, so the floors
+		// track the tagged order exactly as unified tracks everything.
 		if p.ts > h.deliveredBE {
 			h.deliveredBE = p.ts
 		}
@@ -760,22 +827,54 @@ func (h *Host) deliver(p *pending) {
 	h.Stats.BufferedMsgs--
 	h.Stats.BufferedBytes -= int64(p.size)
 	h.Stats.MsgsDelivered++
+	h.recObs(p)
+	h.dispatch(p)
+}
+
+// deliverNow surfaces an untagged best-effort message the moment its
+// reassembly completes (DeliverConflictAware fast path): no barrier wait,
+// no buffered-stat charge (it was never buffered), and — critically — no
+// delivered-floor update, so relaxed traffic can never NAK or reorder the
+// tagged total order.
+func (h *Host) deliverNow(p *pending) {
+	h.Stats.MsgsDelivered++
+	h.Stats.RelaxedDeliveries++
+	h.recObs(p)
+	h.dispatch(p)
+}
+
+// deliverRelaxed surfaces an untagged reliable message once the commit
+// barrier covers it; like deliverNow it leaves the total-order floors alone.
+func (h *Host) deliverRelaxed(p *pending) {
+	h.Stats.BufferedMsgs--
+	h.Stats.BufferedBytes -= int64(p.size)
+	h.Stats.MsgsDelivered++
+	h.Stats.RelaxedDeliveries++
+	h.recObs(p)
+	h.dispatch(p)
+}
+
+func (h *Host) recObs(p *pending) {
 	if p.enqAt > 0 && h.Obs.On() {
 		now := h.wire.Now()
 		h.Obs.Rec(obs.SpanBarrierWait, now-p.enqAt)
 		h.Obs.Rec(obs.SpanE2E, now-p.ts)
 	}
+}
+
+// dispatch hands a delivery to its process callback, preserving the
+// cross-process callback order on this host: anything batched for another
+// process flushes before a delivery for this one is surfaced.
+func (h *Host) dispatch(p *pending) {
 	proc := h.procs[p.dst]
 	if proc == nil {
 		return
 	}
-	// Preserve the cross-process callback order on this host: anything
-	// batched for another process flushes before a delivery for this one
-	// is surfaced.
 	if len(h.batchQ) > 0 && h.batchDst != p.dst {
 		h.flushDeliveries()
 	}
-	d := Delivery{TS: p.ts, Src: p.src, Dst: p.dst, Data: p.data, Reliable: p.reliable}
+	d := Delivery{TS: p.ts, Src: p.src, Dst: p.dst, Data: p.data,
+		Reliable: p.reliable, Conflict: p.conflict}
 	if proc.OnDeliverBatch != nil {
 		h.batchDst = p.dst
 		h.batchQ = append(h.batchQ, d)

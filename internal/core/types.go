@@ -44,6 +44,10 @@ type Delivery struct {
 	Src, Dst netsim.ProcID
 	Data     any
 	Reliable bool
+	// Conflict is the sender-declared conflict key (DeliverConflictAware).
+	// 0 = declared non-conflicting: delivered as soon as locally stable,
+	// outside the cross-class total order.
+	Conflict uint32
 }
 
 // SendFailure reports a message that will not be delivered: a best-effort
@@ -69,6 +73,17 @@ const (
 	// messages then pay commit-plane freshness when reliable traffic is
 	// active.
 	DeliverUnified
+	// DeliverConflictAware relaxes DeliverUnified per Generic Multicast:
+	// messages tagged with a nonzero SendOptions.ConflictKey keep the full
+	// unified barrier wait (and are totally ordered against every other
+	// tagged message, regardless of key value — a deliberately coarse
+	// conflict relation, see DESIGN.md), while untagged (key 0) messages
+	// deliver as soon as they are locally stable: best-effort immediately
+	// on reassembly, reliable once the commit barrier covers them (so the
+	// §5.2 recall window still protects atomicity). Untagged deliveries
+	// never advance the total-order floors, so with every message tagged
+	// the delivery log is byte-identical to DeliverUnified.
+	DeliverConflictAware
 )
 
 // Config parameterizes lib1pipe on one host.
@@ -174,6 +189,10 @@ type SendOptions struct {
 	BatchWindow sim.Time
 	// NoBatch exempts this scattering from frame coalescing.
 	NoBatch bool
+	// ConflictKey declares the scattering's conflict class for
+	// DeliverConflictAware receivers. 0 (the default) declares it
+	// non-conflicting; other modes ignore the key.
+	ConflictKey uint32
 }
 
 func (c Config) withDefaults() Config {

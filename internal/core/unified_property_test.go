@@ -15,6 +15,7 @@ type propRec struct {
 	src      netsim.ProcID
 	id       int64
 	reliable bool
+	conflict uint32
 }
 
 // runMixedWorkload deploys a small cluster in the given delivery mode, runs a
@@ -22,6 +23,15 @@ type propRec struct {
 // per-process delivery logs. Message IDs are globally unique so logs can be
 // correlated across receivers.
 func runMixedWorkload(t *testing.T, mode DeliveryMode, seed int64) [][]propRec {
+	return runKeyedWorkload(t, mode, seed, nil)
+}
+
+// runKeyedWorkload is runMixedWorkload with a conflict-key assignment: keyFor
+// maps each scattering's message ID to its ConflictKey. It is a pure function
+// of the ID — no RNG draw — so two runs of the same seed in different modes
+// (or with different assignments) consume identical randomness and submit
+// identical traffic; only delivery differs. nil means untagged plain sends.
+func runKeyedWorkload(t *testing.T, mode DeliveryMode, seed int64, keyFor func(id int64) uint32) [][]propRec {
 	t.Helper()
 	cfg := netsim.DefaultConfig(topology.ClosConfig{Pods: 1, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 2, Cores: 1}, 2)
 	cfg.Seed = seed
@@ -34,7 +44,7 @@ func runMixedWorkload(t *testing.T, mode DeliveryMode, seed int64) [][]propRec {
 	for i, p := range cl.Procs {
 		i := i
 		p.OnDeliver = func(d Delivery) {
-			logs[i] = append(logs[i], propRec{ts: d.TS, src: d.Src, id: d.Data.(int64), reliable: d.Reliable})
+			logs[i] = append(logs[i], propRec{ts: d.TS, src: d.Src, id: d.Data.(int64), reliable: d.Reliable, conflict: d.Conflict})
 		}
 	}
 
@@ -59,7 +69,10 @@ func runMixedWorkload(t *testing.T, mode DeliveryMode, seed int64) [][]propRec {
 			seen[dst] = true
 			msgs = append(msgs, Message{Dst: dst, Data: id, Size: 64})
 		}
-		if rng.Intn(2) == 0 {
+		reliable := rng.Intn(2) == 0
+		if keyFor != nil {
+			_ = cl.Proc(pi).SendOpts(msgs, SendOptions{Reliable: reliable, ConflictKey: keyFor(id)})
+		} else if reliable {
 			_ = cl.Proc(pi).SendReliable(msgs)
 		} else {
 			_ = cl.Proc(pi).Send(msgs)
@@ -212,10 +225,10 @@ func TestUnifiedCrossQueueTieBreakPSN(t *testing.T) {
 	// An always-prefer-beQ tie-break delivers ts=10 backwards; a
 	// prefer-relQ one delivers ts=20 backwards. Only the PSN compare
 	// survives both.
-	h.enqueuePending(10, 3, 0, 5, "be", 64, false, 0)
-	h.enqueuePending(10, 3, 0, 2, "rel", 64, true, 0)
-	h.enqueuePending(20, 3, 0, 1, "be", 64, false, 0)
-	h.enqueuePending(20, 3, 0, 7, "rel", 64, true, 0)
+	h.enqueuePending(10, 3, 0, 5, "be", 64, false, 0, 0)
+	h.enqueuePending(10, 3, 0, 2, "rel", 64, true, 0, 0)
+	h.enqueuePending(20, 3, 0, 1, "be", 64, false, 0, 0)
+	h.enqueuePending(20, 3, 0, 7, "rel", 64, true, 0, 0)
 	h.barrierBE = 100
 	h.barrierC = 100
 	h.drain()

@@ -123,6 +123,7 @@ func Registry() []Runner {
 		{"proj", "Projected loss penalty at 32K hosts (§7.2 analysis)", Projection},
 		{"stages", "Per-stage latency decomposition (Fig. 9/10 breakdown)", Stages},
 		{"chaos", "Randomized fault sweep with invariant checking (harness)", ChaosSweep},
+		{"conflict", "Ablation: conflict-aware relaxed order vs unified, by conflict rate", Conflict},
 	}
 }
 

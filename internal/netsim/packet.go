@@ -101,6 +101,12 @@ type Packet struct {
 	// after 2PC) as opposed to best-effort traffic (delivered by the BE
 	// barrier, never retransmitted).
 	Reliable bool
+	// ConflictKey is the sender-declared conflict class of the message
+	// (DeliverConflictAware). 0 means declared non-conflicting: the
+	// receiver may deliver the message as soon as it is locally stable,
+	// outside the cross-class total order. Nonzero keys keep the full
+	// barrier wait. Ignored by the other delivery modes.
+	ConflictKey uint32
 	// PSN is the per-(src,dst,class) packet sequence number used for loss
 	// detection and defragmentation.
 	PSN uint32
@@ -144,9 +150,13 @@ func (p *Packet) String() string {
 	return fmt.Sprintf("%s %d->%d ts=%v be=%v c=%v psn=%d", p.Kind, p.Src, p.Dst, p.MsgTS, p.BarrierBE, p.BarrierC, p.PSN)
 }
 
-// FrameEntryBytes is the per-entry wire overhead inside a frame payload: a
-// 48-bit message timestamp, a 16-bit PSN offset and a 32-bit payload
-// length.
+// FrameEntryBytes is the per-entry overhead inside a frame payload used for
+// simulator byte accounting: a 48-bit message timestamp, a 16-bit PSN
+// offset and a 32-bit payload length. The real wire codec
+// (internal/wire) additionally carries each entry's 32-bit conflict key;
+// that delta is wire-local and deliberately kept out of this constant so
+// the simulator's batching decisions (and hence the chaos goldens) are
+// independent of the conflict extension.
 const FrameEntryBytes = 12
 
 // FrameEntry is one message inside a multi-message frame. Entries are
@@ -163,6 +173,9 @@ type FrameEntry struct {
 	// Size is the application payload size in bytes (excluding the
 	// FrameEntryBytes framing overhead).
 	Size int
+	// ConflictKey is the member's conflict class (see Packet.ConflictKey);
+	// every member of one scattering shares its scattering's key.
+	ConflictKey uint32
 	// Data carries the application message by reference. Over a real wire
 	// it must be a []byte.
 	Data any

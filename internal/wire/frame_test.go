@@ -21,8 +21,8 @@ func mkFrame(entries []netsim.FrameEntry, span uint16) *netsim.Frame {
 func TestFrameRoundTrip(t *testing.T) {
 	ref := sim.Time(5 * sim.Millisecond)
 	f := mkFrame([]netsim.FrameEntry{
-		{TS: ref + 10, PSNOff: 0, Data: []byte("alpha")},
-		{TS: ref + 10, PSNOff: 1, Data: []byte{}},
+		{TS: ref + 10, PSNOff: 0, ConflictKey: 7, Data: []byte("alpha")},
+		{TS: ref + 10, PSNOff: 1, ConflictKey: 7, Data: []byte{}},
 		// PSNOff 2 missing: a member aborted between transmissions.
 		{TS: ref + 30, PSNOff: 3, Data: []byte("gamma-longer-payload")},
 	}, 4)
@@ -51,9 +51,9 @@ func TestFrameRoundTrip(t *testing.T) {
 	}
 	for i := range f.Entries {
 		w, g := &f.Entries[i], &got.Entries[i]
-		if g.TS != w.TS || g.PSNOff != w.PSNOff {
-			t.Fatalf("entry %d header changed: got ts=%v off=%d, want ts=%v off=%d",
-				i, g.TS, g.PSNOff, w.TS, w.PSNOff)
+		if g.TS != w.TS || g.PSNOff != w.PSNOff || g.ConflictKey != w.ConflictKey {
+			t.Fatalf("entry %d header changed: got ts=%v off=%d key=%d, want ts=%v off=%d key=%d",
+				i, g.TS, g.PSNOff, g.ConflictKey, w.TS, w.PSNOff, w.ConflictKey)
 		}
 		want := w.Data.([]byte)
 		var gotData []byte
@@ -112,6 +112,13 @@ func TestFrameRejectsMalformed(t *testing.T) {
 		netsim.PutFrame(f)
 		t.Error("truncated entry payload: accepted")
 	}
+	// Truncated entry header: cut inside the conflict-key field, leaving the
+	// entry shorter than the wire framing.
+	short := enc([]netsim.FrameEntry{{TS: ref, PSNOff: 0, ConflictKey: 9, Data: []byte("abcdef")}}, 1)
+	if f, err := ParseFramePayload(short[:frameHeadLen+10], ref); err == nil {
+		netsim.PutFrame(f)
+		t.Error("truncated entry header: accepted")
+	}
 }
 
 // FuzzParseFrame throws arbitrary bytes at the frame-body parser: it must
@@ -119,7 +126,7 @@ func TestFrameRejectsMalformed(t *testing.T) {
 // equivalent frame.
 func FuzzParseFrame(f *testing.F) {
 	seed := mkFrame([]netsim.FrameEntry{
-		{TS: 1000, PSNOff: 0, Data: []byte("one")},
+		{TS: 1000, PSNOff: 0, ConflictKey: 3, Data: []byte("one")},
 		{TS: 1001, PSNOff: 2, Data: []byte("two")},
 	}, 3)
 	b := make([]byte, framePayloadLen(seed))
@@ -146,7 +153,7 @@ func FuzzParseFrame(f *testing.F) {
 		}
 		for i := range fr.Entries {
 			a, b := &fr.Entries[i], &fr2.Entries[i]
-			if WrapTS(a.TS) != WrapTS(b.TS) || a.PSNOff != b.PSNOff {
+			if WrapTS(a.TS) != WrapTS(b.TS) || a.PSNOff != b.PSNOff || a.ConflictKey != b.ConflictKey {
 				t.Fatalf("entry %d header changed across round trip", i)
 			}
 			ad, _ := a.Data.([]byte)

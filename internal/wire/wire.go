@@ -60,11 +60,11 @@ func UnwrapTS(wire uint64, ref sim.Time) sim.Time {
 }
 
 // HeaderLen is the encoded header size: 3×6 (timestamps) + 4 (PSN) +
-// 2 (FragIdx) + 1 (opcode) + 1 (flags) + 4+4 (src/dst) + 4 (payload len)
-// = 38 bytes. (§6.1 counts the 24 bytes 1Pipe adds on top of UD
-// addressing; this format carries addressing and length explicitly since
-// it runs over plain UDP.)
-const HeaderLen = 38
+// 2 (FragIdx) + 1 (opcode) + 1 (flags) + 4+4 (src/dst) + 4 (conflict key)
+// + 4 (payload len) = 42 bytes. (§6.1 counts the 24 bytes 1Pipe adds on
+// top of UD addressing; this format carries addressing, the conflict key
+// and length explicitly since it runs over plain UDP.)
+const HeaderLen = 42
 
 // Flag bits.
 const (
@@ -77,6 +77,12 @@ const (
 // frameHeadLen is the fixed prefix of a frame payload: a 16-bit entry count
 // and a 16-bit PSN span.
 const frameHeadLen = 4
+
+// wireEntryLen is the per-entry framing on the wire: the simulator's
+// FrameEntryBytes (48-bit TS, 16-bit PSN offset, 32-bit payload length)
+// plus the 32-bit conflict key, which is deliberately kept out of the
+// simulator constant (see netsim.FrameEntryBytes).
+const wireEntryLen = netsim.FrameEntryBytes + 4
 
 // ErrShort reports a truncated packet.
 var ErrShort = errors.New("wire: short packet")
@@ -156,7 +162,8 @@ func AppendEncode(dst []byte, pkt *netsim.Packet, payload []byte) []byte {
 	buf[25] = flags
 	binary.BigEndian.PutUint32(buf[26:], uint32(pkt.Src))
 	binary.BigEndian.PutUint32(buf[30:], uint32(pkt.Dst))
-	binary.BigEndian.PutUint32(buf[34:], uint32(plen))
+	binary.BigEndian.PutUint32(buf[34:], pkt.ConflictKey)
+	binary.BigEndian.PutUint32(buf[38:], uint32(plen))
 	if frame != nil {
 		putFramePayload(buf[HeaderLen:], frame)
 	} else {
@@ -172,7 +179,7 @@ func framePayloadLen(f *netsim.Frame) int {
 	}
 	n := frameHeadLen
 	for i := range f.Entries {
-		n += netsim.FrameEntryBytes
+		n += wireEntryLen
 		if data, ok := f.Entries[i].Data.([]byte); ok {
 			n += len(data)
 		}
@@ -192,9 +199,10 @@ func putFramePayload(b []byte, f *netsim.Frame) {
 		data, _ := e.Data.([]byte)
 		put48(b[off:], WrapTS(e.TS))
 		binary.BigEndian.PutUint16(b[off+6:], e.PSNOff)
-		binary.BigEndian.PutUint32(b[off+8:], uint32(len(data)))
-		copy(b[off+netsim.FrameEntryBytes:], data)
-		off += netsim.FrameEntryBytes + len(data)
+		binary.BigEndian.PutUint32(b[off+8:], e.ConflictKey)
+		binary.BigEndian.PutUint32(b[off+12:], uint32(len(data)))
+		copy(b[off+wireEntryLen:], data)
+		off += wireEntryLen + len(data)
 	}
 }
 
@@ -217,14 +225,15 @@ func ParseFramePayload(payload []byte, ref sim.Time) (*netsim.Frame, error) {
 	var prevTS sim.Time
 	prevOff := -1
 	for i := 0; i < count; i++ {
-		if len(payload)-off < netsim.FrameEntryBytes {
+		if len(payload)-off < wireEntryLen {
 			netsim.PutFrame(f)
 			return nil, ErrShort
 		}
 		ts := UnwrapTS(get48(payload[off:]), ref)
 		psnOff := binary.BigEndian.Uint16(payload[off+6:])
-		dlen := int(binary.BigEndian.Uint32(payload[off+8:]))
-		off += netsim.FrameEntryBytes
+		ckey := binary.BigEndian.Uint32(payload[off+8:])
+		dlen := int(binary.BigEndian.Uint32(payload[off+12:]))
+		off += wireEntryLen
 		if dlen < 0 || dlen > len(payload)-off {
 			netsim.PutFrame(f)
 			return nil, ErrShort
@@ -239,7 +248,7 @@ func ParseFramePayload(payload []byte, ref sim.Time) (*netsim.Frame, error) {
 		if dlen > 0 {
 			data = payload[off : off+dlen]
 		}
-		f.Entries = append(f.Entries, netsim.FrameEntry{TS: ts, PSNOff: psnOff, Size: dlen, Data: data})
+		f.Entries = append(f.Entries, netsim.FrameEntry{TS: ts, PSNOff: psnOff, Size: dlen, ConflictKey: ckey, Data: data})
 		off += dlen
 	}
 	f.Span = span
@@ -269,7 +278,7 @@ func DecodeInto(pkt *netsim.Packet, buf []byte, ref sim.Time) ([]byte, error) {
 	if kind > netsim.KindCtrl {
 		return nil, fmt.Errorf("%w: %d", ErrBadOpcode, buf[24])
 	}
-	plen := binary.BigEndian.Uint32(buf[34:])
+	plen := binary.BigEndian.Uint32(buf[38:])
 	if len(buf) < HeaderLen+int(plen) {
 		return nil, ErrShort
 	}
@@ -286,6 +295,7 @@ func DecodeInto(pkt *netsim.Packet, buf []byte, ref sim.Time) ([]byte, error) {
 	pkt.Frame = flags&flagFrame != 0
 	pkt.Src = netsim.ProcID(binary.BigEndian.Uint32(buf[26:]))
 	pkt.Dst = netsim.ProcID(binary.BigEndian.Uint32(buf[30:]))
+	pkt.ConflictKey = binary.BigEndian.Uint32(buf[34:])
 	pkt.Size = HeaderLen + int(plen)
 	pkt.Payload = nil
 	pkt.SentAt = 0

@@ -14,6 +14,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		Kind: netsim.KindData, Src: 7, Dst: 12,
 		MsgTS: 123456789, BarrierBE: 123456000, BarrierC: 123450000,
 		PSN: 42, FragIdx: 3, EndOfMsg: true, Reliable: true, ECN: true,
+		ConflictKey: 0xDEADBEEF,
 	}
 	payload := []byte("hello 1pipe")
 	buf := Encode(pkt, payload)
@@ -27,7 +28,8 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if got.Kind != pkt.Kind || got.Src != pkt.Src || got.Dst != pkt.Dst ||
 		got.MsgTS != pkt.MsgTS || got.BarrierBE != pkt.BarrierBE || got.BarrierC != pkt.BarrierC ||
 		got.PSN != pkt.PSN || got.FragIdx != pkt.FragIdx ||
-		got.EndOfMsg != pkt.EndOfMsg || got.Reliable != pkt.Reliable || got.ECN != pkt.ECN {
+		got.EndOfMsg != pkt.EndOfMsg || got.Reliable != pkt.Reliable || got.ECN != pkt.ECN ||
+		got.ConflictKey != pkt.ConflictKey {
 		t.Fatalf("round trip mismatch: %+v vs %+v", got, pkt)
 	}
 	if got.Size != len(buf) {
@@ -89,7 +91,7 @@ func TestUnwrapAroundWrap(t *testing.T) {
 
 // Property: round trip preserves every header field, for arbitrary values.
 func TestRoundTripProperty(t *testing.T) {
-	f := func(kindRaw uint8, src, dst uint32, ts, be, c uint64, psn uint32, frag uint16, flags uint8, payload []byte) bool {
+	f := func(kindRaw uint8, src, dst uint32, ts, be, c uint64, psn, ckey uint32, frag uint16, flags uint8, payload []byte) bool {
 		kind := netsim.Kind(kindRaw % 8)
 		ref := sim.Time(ts & tsMask) // receiver clock near the message time
 		pkt := &netsim.Packet{
@@ -97,7 +99,7 @@ func TestRoundTripProperty(t *testing.T) {
 			MsgTS:     sim.Time(ts & tsMask),
 			BarrierBE: sim.Time(be & tsMask),
 			BarrierC:  sim.Time(c & tsMask),
-			PSN:       psn, FragIdx: frag,
+			PSN:       psn, FragIdx: frag, ConflictKey: ckey,
 			EndOfMsg: flags&1 != 0, Reliable: flags&2 != 0, ECN: flags&4 != 0,
 		}
 		if len(payload) > 2048 {
@@ -118,6 +120,7 @@ func TestRoundTripProperty(t *testing.T) {
 			WrapTS(got.BarrierBE) == WrapTS(pkt.BarrierBE) &&
 			WrapTS(got.BarrierC) == WrapTS(pkt.BarrierC) &&
 			got.PSN == pkt.PSN && got.FragIdx == pkt.FragIdx &&
+			got.ConflictKey == pkt.ConflictKey &&
 			got.EndOfMsg == pkt.EndOfMsg && got.Reliable == pkt.Reliable && got.ECN == pkt.ECN
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

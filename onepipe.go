@@ -152,6 +152,18 @@ func Unbatched() SendOption {
 	return func(o *core.SendOptions) { o.NoBatch = true }
 }
 
+// Conflicts declares the scattering's conflict class for conflict-aware
+// fabrics (Config.ConflictAware): scatterings tagged with any nonzero key
+// stay in the cross-class total order, while untagged scatterings deliver as
+// soon as they are locally stable — best-effort in 0.5 RTT, reliable at the
+// commit barrier — outside that order (Generic Multicast's conflict
+// relation, coarsened to "tagged conflicts with tagged"; see DESIGN.md).
+// key 0 is identical to omitting the option; other delivery modes ignore
+// the tag entirely.
+func Conflicts(key uint32) SendOption {
+	return func(o *core.SendOptions) { o.ConflictKey = key }
+}
+
 // Config assembles a 1Pipe deployment.
 type Config struct {
 	// Topology is the Clos network to simulate; Testbed() is the paper's
@@ -174,6 +186,11 @@ type Config struct {
 	// Unified delivers both service classes in a single cross-class total
 	// order (see internal/core.DeliverUnified).
 	Unified bool
+	// ConflictAware relaxes the unified order per declared conflicts: only
+	// scatterings sent with the Conflicts option keep the full barrier
+	// wait; untagged ones deliver when locally stable (see
+	// internal/core.DeliverConflictAware). Takes precedence over Unified.
+	ConflictAware bool
 	// BatchWindow overrides how long a partial multi-message wire frame
 	// waits for more same-destination traffic (default 1 us simulated).
 	BatchWindow Timestamp
@@ -235,6 +252,9 @@ func NewCluster(cfg Config) *Cluster {
 	}
 	if cfg.Unified {
 		ecfg.Mode = core.DeliverUnified
+	}
+	if cfg.ConflictAware {
+		ecfg.Mode = core.DeliverConflictAware
 	}
 	if cfg.BatchWindow > 0 {
 		ecfg.BatchWindow = cfg.BatchWindow

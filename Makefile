@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict
+.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict scale
 
 all: vet test
 
@@ -16,7 +16,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/livenet/ ./internal/udpnet/
+	$(GO) test -race ./internal/core/ ./internal/livenet/ ./internal/udpnet/ ./internal/sim/
+	$(GO) test -race ./internal/netsim/ -run 'TestParallel' -count=1
 
 # One pass over every figure/table as Go benchmarks.
 bench:
@@ -66,6 +67,13 @@ elastic:
 # against the unified total order across conflict rates (DESIGN.md #12).
 conflict:
 	$(GO) run ./cmd/onepipe-bench -fig conflict
+
+# Sharded-engine scaling table: the 1024-host fat-tree workload swept
+# over shard counts (docs/performance.md "Parallel simulation"). Real
+# speedup needs free cores; the delivered/latency columns must be
+# identical on every row regardless.
+scale:
+	$(GO) run ./cmd/onepipe-bench -fig scale
 
 examples:
 	@for ex in quickstart bank kvstore replication snapshot lockmanager; do \

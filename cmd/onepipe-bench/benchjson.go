@@ -37,6 +37,25 @@ type benchBaseline struct {
 	QuickSuiteWallS    float64 `json:"quick_suite_wall_s"`
 }
 
+// parallelEngineBench is the sharded-engine throughput row. The figure is
+// GOMAXPROCS-dependent (shard goroutines need real cores to overlap), so
+// the core count it was measured at is recorded beside it rather than
+// letting numbers from different machines be compared bare.
+type parallelEngineBench struct {
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Shards       int     `json:"shards"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// scaleBench is the 1024-host fabric wall-time row (experiments.FabricScaleOnce).
+type scaleBench struct {
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Shards     int     `json:"shards"`
+	WallS      float64 `json:"wall_s"`
+	Events     uint64  `json:"events"`
+	WindowUs   float64 `json:"window_us"`
+}
+
 // benchReport is the machine-readable performance contract: refreshed by
 // `make bench-json`, gated by CI's bench-smoke job (engine events/sec must
 // stay within 10% of the committed figure).
@@ -45,7 +64,17 @@ type benchReport struct {
 	GoVersion          string  `json:"go_version"`
 	GOMAXPROCS         int     `json:"gomaxprocs"`
 	EngineEventsPerSec float64 `json:"engine_events_per_sec"`
-	E2EMsgsPerSec      float64 `json:"e2e_msgs_per_sec"`
+	// EngineEventsPerSecParallel is the 8-shard conservative-lookahead
+	// engine on the same self-rescheduling workload (one cross-shard
+	// handoff per 16 events). Single-threaded it trails the classic engine
+	// (window barriers cost more than the smaller heaps save); the figure
+	// exists to track the parallel drive's overhead and its scaling with
+	// cores.
+	EngineEventsPerSecParallel *parallelEngineBench `json:"engine_events_per_sec_parallel,omitempty"`
+	// Scale1024 is the wall time of the 1024-host fabric scale workload
+	// at 8 parallel shards (the -fig scale tentpole row).
+	Scale1024     *scaleBench `json:"scale_1024,omitempty"`
+	E2EMsgsPerSec float64     `json:"e2e_msgs_per_sec"`
 	// E2EUnbatchedMsgsPerSec is the same workload with frame coalescing
 	// and the delivery fast path off — the pre-batching wire behavior,
 	// kept for the batching speedup comparison.
@@ -85,6 +114,51 @@ func benchEngine() testing.BenchmarkResult {
 			e.Step()
 		}
 	})
+}
+
+// benchEngineParallel mirrors internal/sim's BenchmarkShardedEngineParallel:
+// an 8-shard parallel group, 4096-deep self-rescheduling heap per shard,
+// one cross-shard handoff every 16 events. Returns aggregate events/sec.
+func benchEngineParallel() parallelEngineBench {
+	const (
+		nShards   = 8
+		depth     = 4096
+		lookahead = sim.Time(1000)
+	)
+	s := sim.NewShardedEngine(1, nShards, lookahead, true)
+	defer s.Close()
+	steps := make([]func(a, b any), nShards)
+	for i := 0; i < nShards; i++ {
+		i := i
+		e := s.Shard(i)
+		next := (i + 1) % nShards
+		var k int
+		steps[i] = func(a, b any) {
+			k++
+			if k%16 == 0 {
+				e.At2On(s.Shard(next), e.Now()+lookahead+sim.Time(e.Rand().Intn(1000)), steps[next], a, b)
+				return
+			}
+			e.After2(sim.Time(e.Rand().Intn(1000))+1, steps[i], a, b)
+		}
+	}
+	for i := 0; i < nShards; i++ {
+		e := s.Shard(i)
+		for j := 0; j < depth; j++ {
+			e.After2(sim.Time(e.Rand().Intn(1000))+1, steps[i], nil, nil)
+		}
+	}
+	s.RunFor(10 * sim.Microsecond) // warm up workers and heaps
+	n0 := s.ExecutedTotal()
+	start := time.Now()
+	for time.Since(start) < 2*time.Second {
+		s.RunFor(50 * sim.Microsecond)
+	}
+	return parallelEngineBench{
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		Shards:       nShards,
+		EventsPerSec: float64(s.ExecutedTotal()-n0) / time.Since(start).Seconds(),
+	}
 }
 
 func benchWireEncode() testing.BenchmarkResult {
@@ -248,6 +322,18 @@ func runBenchJSON(outPath string, withSuite bool) error {
 		Baseline: prev.Baseline,
 	}
 	rep.EngineEventsPerSec = 1e9 / rep.Benchmarks["engine_schedule"].NsPerOp
+	par := benchEngineParallel()
+	rep.EngineEventsPerSecParallel = &par
+	const scaleShards = 8
+	scaleWindow := 400 * sim.Microsecond
+	wall, events, _ := experiments.FabricScaleOnce(scaleShards, true, scaleWindow)
+	rep.Scale1024 = &scaleBench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Shards:     scaleShards,
+		WallS:      wall,
+		Events:     events,
+		WindowUs:   scaleWindow.Micros(),
+	}
 	e2e, sendOcc, recvOcc := benchE2E(true)
 	rep.E2EMsgsPerSec = e2e
 	so, ro := summarize(sendOcc), summarize(recvOcc)
@@ -277,6 +363,14 @@ func runBenchJSON(outPath string, withSuite bool) error {
 	fmt.Printf("engine      %8.1f ns/op  %d allocs/op  (%.2fM events/s)\n",
 		rep.Benchmarks["engine_schedule"].NsPerOp, rep.Benchmarks["engine_schedule"].AllocsPerOp,
 		rep.EngineEventsPerSec/1e6)
+	if p := rep.EngineEventsPerSecParallel; p != nil {
+		fmt.Printf("engine||    %8.2fM events/s  (%d shards, GOMAXPROCS=%d)\n",
+			p.EventsPerSec/1e6, p.Shards, p.GOMAXPROCS)
+	}
+	if sb := rep.Scale1024; sb != nil {
+		fmt.Printf("scale 1024  %8.2f s wall  (%d events, %.0fus window, %d shards)\n",
+			sb.WallS, sb.Events, sb.WindowUs, sb.Shards)
+	}
 	fmt.Printf("encode      %8.1f ns/op  %d allocs/op\n",
 		rep.Benchmarks["wire_append_encode"].NsPerOp, rep.Benchmarks["wire_append_encode"].AllocsPerOp)
 	fmt.Printf("decode      %8.1f ns/op  %d allocs/op\n",

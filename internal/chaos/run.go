@@ -449,7 +449,7 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 	res.Epochs = ctrl.Epochs
 	res.ForwardedMsgs = ctrl.ForwardedMsgs
 	res.Stats = cl.TotalStats()
-	res.NetStats = net.Stats
+	res.NetStats = net.TotalStats()
 	net.Stop()
 	return res
 }

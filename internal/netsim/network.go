@@ -21,6 +21,19 @@ type Stats struct {
 	Delivered   uint64
 }
 
+// Add accumulates o into s (per-shard stats merging).
+func (s *Stats) Add(o *Stats) {
+	for i := range s.PktsByKind {
+		s.PktsByKind[i] += o.PktsByKind[i]
+		s.BytesByKind[i] += o.BytesByKind[i]
+	}
+	s.CorruptDrop += o.CorruptDrop
+	s.QueueDrop += o.QueueDrop
+	s.DeadDrop += o.DeadDrop
+	s.ECNMarks += o.ECNMarks
+	s.Delivered += o.Delivered
+}
+
 // BeaconBandwidthFraction returns the fraction of total bytes that were
 // beacons (Fig. 13b).
 func (s *Stats) BeaconBandwidthFraction() float64 {
@@ -41,6 +54,14 @@ type linkState struct {
 	to   topology.NodeID
 	bpns float64 // bytes per nanosecond; 0 = infinite
 	prop sim.Time
+	// src owns the egress half of the link state (busy, lastTx*,
+	// lastArrival, beacon relay fields): every transmit/beacon event for
+	// this link runs on src's engine. dst owns the ingress half (reg*,
+	// lastRx, alive*, drained): receive events run on dst's engine. The
+	// only cross-shard handoff is the transmit->receive edge, whose delay
+	// is at least the link propagation — which bounds the lookahead. With
+	// one shard both point at the same state and nothing changes.
+	src, dst *shardState
 	busy sim.Time // egress busy-until
 	last sim.Time // last transmit completion (idle detection)
 	// lastTxBE/C track the freshest barriers already carried on this link
@@ -98,6 +119,26 @@ type nodeState struct {
 	lastRelayC  sim.Time
 }
 
+// shardState is the per-shard execution context: the shard's engine plus
+// everything the per-packet hot path touches that must not be shared
+// between concurrently executing shards. A single-engine network has
+// exactly one, pointing at the Network's own Eng/Stats/rng — the classic
+// code path, unchanged. In lockstep sharding all shardStates share one rng
+// (the global event order makes the draws identical to a single engine);
+// in parallel sharding each shard gets its own stream derived from the
+// root seed.
+type shardState struct {
+	eng   *sim.Engine
+	stats *Stats
+	rng   *rand.Rand
+	// hopsBuf is this shard's ECMP candidate scratch; it never escapes
+	// one receive call.
+	hopsBuf []topology.LinkID
+	// ingress lists the links whose receive side this shard owns; the
+	// per-shard dead-link scanner (parallel mode) walks it.
+	ingress []*linkState
+}
+
 // Network is the simulated data center network.
 type Network struct {
 	Eng    *sim.Engine
@@ -105,6 +146,15 @@ type Network struct {
 	Cfg    Config
 	Clocks []*clock.Clock // one per host
 	Stats  Stats
+
+	// Sharded operation (Cfg.Shards > 1): sh drives the shard group,
+	// shardMap is the pod cut, shards the per-shard contexts, and nodeSh
+	// maps every node to its owner. With one shard sh is nil and shards
+	// holds a single context aliasing Eng/Stats/rng.
+	sh       *sim.ShardedEngine
+	shardMap topology.ShardMap
+	shards   []*shardState
+	nodeSh   []*shardState
 
 	// links and nodes hold pointers, not values: scheduled events and
 	// beacon-ticker closures capture *linkState/*nodeState, and Grow
@@ -134,11 +184,6 @@ type Network struct {
 	deliverFn      func(a, b any)
 	relayTriggerFn func(a, b any)
 	relayFireFn    func(a, b any)
-
-	// hopsBuf is the per-hop ECMP candidate scratch. The engine is
-	// single-threaded and the slice never escapes receive, so one buffer
-	// serves every routing decision without allocating.
-	hopsBuf []topology.LinkID
 }
 
 // New builds the network, its clocks and its beacon machinery.
@@ -149,12 +194,50 @@ func New(cfg Config) *Network {
 	if cfg.Oversub < 1 {
 		cfg.Oversub = 1
 	}
-	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
 	g := topology.NewClos(cfg.Topo)
-	n := &Network{
-		Eng: eng, G: g, Cfg: cfg,
+	m := g.PodShards(cfg.Shards)
+	if cfg.Shards > 1 {
+		if _, ok := cfg.MinCrossShardLatency(g, m); !ok {
+			// Degenerate cut (e.g. one pod): every node landed on shard 0,
+			// so extra shards would idle. Fall back to a single engine.
+			cfg.Shards = 1
+			m = g.PodShards(1)
+		}
+	}
+	n := &Network{G: g, Cfg: cfg, shardMap: m,
 		rng:    rand.New(rand.NewSource(cfg.Seed + 7919)),
 		hostRx: make([]func(*Packet), len(g.Hosts)),
+	}
+	if cfg.Shards == 1 {
+		n.Eng = sim.NewEngine(cfg.Seed)
+	} else {
+		la, _ := cfg.MinCrossShardLatency(g, m)
+		n.sh = sim.NewShardedEngine(cfg.Seed, cfg.Shards, la, cfg.Parallel)
+		n.Eng = n.sh.Shard(0)
+	}
+	n.shards = make([]*shardState, cfg.Shards)
+	for i := range n.shards {
+		s := &shardState{rng: n.rng}
+		if n.sh == nil {
+			s.eng, s.stats = n.Eng, &n.Stats
+		} else {
+			s.eng = n.sh.Shard(i)
+			s.stats = new(Stats)
+			if cfg.Parallel {
+				// Parallel shards draw loss/jitter/ECMP from their own
+				// streams; lockstep shards share the root stream, whose
+				// draws happen in single-engine order.
+				s.rng = rand.New(rand.NewSource(shardSalt(cfg.Seed+7919, i)))
+			}
+		}
+		n.shards[i] = s
+	}
+	n.nodeSh = make([]*shardState, len(g.Nodes))
+	for i := range g.Nodes {
+		n.nodeSh[i] = n.shards[m.Of(topology.NodeID(i))]
 	}
 	n.transmitFn = func(a, b any) { n.transmit(a.(*linkState), b.(*Packet)) }
 	n.receiveFn = func(a, b any) { n.receive(a.(*linkState), b.(*Packet)) }
@@ -162,14 +245,14 @@ func New(cfg Config) *Network {
 	n.relayTriggerFn = func(a, b any) {
 		node, ls := a.(*nodeState), b.(*linkState)
 		ls.pendBE, ls.pendC = n.nodeBarriers(node)
-		n.Eng.After2(n.beaconProcDelay(), n.relayFireFn, node, ls)
+		ls.src.eng.After2(n.beaconProcDelay(), n.relayFireFn, node, ls)
 	}
 	n.relayFireFn = func(a, b any) {
 		ls := b.(*linkState)
 		n.fireBeacon(a.(*nodeState), ls, ls.pendBE, ls.pendC)
 	}
 	for i := 0; i < len(g.Hosts); i++ {
-		n.Clocks = append(n.Clocks, clock.New(eng, eng.Rand(), cfg.Clock))
+		n.Clocks = append(n.Clocks, n.newHostClock(i))
 	}
 	n.links = make([]*linkState, len(g.Links))
 	for i, l := range g.Links {
@@ -189,27 +272,41 @@ func New(cfg Config) *Network {
 	return n
 }
 
+// shardSalt derives shard i's seed for an auxiliary stream.
+func shardSalt(seed int64, i int) int64 {
+	if i == 0 {
+		return seed
+	}
+	return seed ^ int64(uint64(i)*0x9e3779b97f4a7c15)
+}
+
+// newHostClock builds host hi's clock on its owning shard's engine. The
+// construction-time offset/drift draws always come from the root engine's
+// stream — in that order they are identical at every shard count — and in
+// parallel mode the clock is then re-seeded with a per-host stream so
+// runtime resyncs stay off the shared source.
+func (n *Network) newHostClock(hi int) *clock.Clock {
+	sh := n.nodeSh[n.G.Host(hi)]
+	c := clock.New(sh.eng, n.Eng.Rand(), n.Cfg.Clock)
+	if n.sh != nil && n.Cfg.Parallel {
+		c.Reseed(rand.New(rand.NewSource(shardSalt(n.Cfg.Seed+104729, hi+1))))
+	}
+	return c
+}
+
 func (n *Network) newLinkState(l topology.Link) *linkState {
-	return &linkState{
+	ls := &linkState{
 		id: l.ID, kind: l.Kind, from: l.From, to: l.To,
 		prop: n.propOf(l.Kind),
 		bpns: n.bandwidthOf(l.Kind),
+		src:  n.nodeSh[l.From],
+		dst:  n.nodeSh[l.To],
 	}
+	ls.dst.ingress = append(ls.dst.ingress, ls)
+	return ls
 }
 
-func (n *Network) propOf(k topology.LinkKind) sim.Time {
-	switch k {
-	case topology.LinkHostUp, topology.LinkTorHostDown:
-		return n.Cfg.PropHost
-	case topology.LinkTorSpineUp, topology.LinkSpineTorDown:
-		return n.Cfg.PropTorSpine
-	case topology.LinkSpineCoreUp, topology.LinkCoreSpineDown:
-		return n.Cfg.PropSpineCore
-	case topology.LinkLoopback:
-		return n.Cfg.PropLoopback
-	}
-	return 0
-}
+func (n *Network) propOf(k topology.LinkKind) sim.Time { return n.Cfg.PropOf(k) }
 
 func (n *Network) bandwidthOf(k topology.LinkKind) float64 {
 	const bytesPerNsPerGbps = 1.0 / 8.0
@@ -253,39 +350,49 @@ func (n *Network) uplink(host int) *linkState {
 
 // SendFromHost injects a packet from a host into the network, charging host
 // processing delay then the uplink. Beacon and commit packets go to the ToR
-// (Dst ignored); data goes toward Dst's host.
+// (Dst ignored); data goes toward Dst's host. In sharded operation the call
+// must come from the host's own shard (HostEngine); the uplink's egress is
+// on the same shard under the pod cut.
 func (n *Network) SendFromHost(host int, pkt *Packet) {
-	pkt.SentAt = n.Eng.Now()
-	n.Eng.After2(n.Cfg.HostDelay, n.transmitFn, n.uplink(host), pkt)
+	up := n.uplink(host)
+	pkt.SentAt = up.src.eng.Now()
+	up.src.eng.After2(n.Cfg.HostDelay, n.transmitFn, up, pkt)
 }
+
+// HostEngine returns the engine of the shard owning host hi. Workloads
+// driving a sharded network must schedule each host's events here.
+func (n *Network) HostEngine(hi int) *sim.Engine { return n.nodeSh[n.G.Host(hi)].eng }
 
 // SendFromProc is SendFromHost keyed by source process.
 func (n *Network) SendFromProc(p ProcID, pkt *Packet) {
 	n.SendFromHost(n.HostOfProc(p), pkt)
 }
 
-// transmit places a packet on a link's egress queue.
+// transmit places a packet on a link's egress queue. It always executes on
+// the shard owning the link's egress (l.src); the scheduled arrival is the
+// one cross-shard handoff of the packet's life at this hop.
 func (n *Network) transmit(l *linkState, pkt *Packet) {
+	sh := l.src
 	if n.G.LinkDead(l.id) {
-		n.Stats.DeadDrop++
+		sh.stats.DeadDrop++
 		PutPacket(pkt)
 		return
 	}
-	now := n.Eng.Now()
+	now := sh.eng.Now()
 	start := now
 	if l.busy > start {
 		start = l.busy
 	}
 	qdelay := start - now
 	if n.Cfg.QueueLimit > 0 && qdelay > n.Cfg.QueueLimit {
-		n.Stats.QueueDrop++
+		sh.stats.QueueDrop++
 		PutPacket(pkt)
 		return
 	}
 	pkt.QueueWait += qdelay
 	if n.Cfg.ECNThreshold > 0 && qdelay > n.Cfg.ECNThreshold {
 		pkt.ECN = true
-		n.Stats.ECNMarks++
+		sh.stats.ECNMarks++
 	}
 	ser := sim.Time(0)
 	if l.bpns > 0 {
@@ -301,10 +408,10 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 			l.lastTxC = pkt.BarrierC
 		}
 	}
-	n.Stats.PktsByKind[pkt.Kind]++
-	n.Stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
-	if n.Cfg.LossRate > 0 && n.rng.Float64() < n.Cfg.LossRate {
-		n.Stats.CorruptDrop++
+	sh.stats.PktsByKind[pkt.Kind]++
+	sh.stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
+	if n.Cfg.LossRate > 0 && sh.rng.Float64() < n.Cfg.LossRate {
+		sh.stats.CorruptDrop++
 		PutPacket(pkt) // corrupted in flight; bandwidth already consumed
 		return
 	}
@@ -314,9 +421,9 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 		// straggler several times the nominal jitter (transient queueing
 		// behind a burst) — the delay asymmetry that makes multi-path
 		// ordering hazards real (§2.2.1).
-		extra := sim.Time(n.rng.Int63n(int64(j)/3 + 1))
-		if n.rng.Intn(20) == 0 {
-			extra += sim.Time(n.rng.Int63n(int64(j) * 4))
+		extra := sim.Time(sh.rng.Int63n(int64(j)/3 + 1))
+		if sh.rng.Intn(20) == 0 {
+			extra += sim.Time(sh.rng.Int63n(int64(j) * 4))
 		}
 		arrive += extra
 		// FIFO clamp: a jittered packet never overtakes its predecessor
@@ -326,17 +433,25 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 		}
 		l.lastArrival = arrive
 	}
-	n.Eng.At2(arrive, n.receiveFn, l, pkt)
+	// Ownership handoff: from here the packet belongs to the receive-side
+	// shard. Cross-shard arrivals ride the window-barrier outbox; arrive is
+	// at least l.prop >= lookahead in the future, which is what makes the
+	// conservative window sound.
+	sh.eng.At2On(l.dst.eng, arrive, n.receiveFn, l, pkt)
 }
 
-// receive handles packet arrival at the downstream end of a link.
+// receive handles packet arrival at the downstream end of a link. It
+// executes on the shard owning the link's ingress (l.dst), which under the
+// pod cut also owns the downstream node's registers, barriers and egress
+// links — forwarding stays shard-local.
 func (n *Network) receive(l *linkState, pkt *Packet) {
+	sh := l.dst
 	if n.G.NodeDead(l.to) {
-		n.Stats.DeadDrop++
+		sh.stats.DeadDrop++
 		PutPacket(pkt)
 		return
 	}
-	now := n.Eng.Now()
+	now := sh.eng.Now()
 	if !l.drained {
 		l.lastRx = now
 		l.alive = true
@@ -363,12 +478,12 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 
 	dst := n.G.Node(l.to)
 	if dst.Kind == topology.KindHost {
-		n.Stats.Delivered++
+		sh.stats.Delivered++
 		host := n.G.HostIndex(l.to)
 		if rx := n.hostRx[host]; rx != nil {
 			// Ownership transfers to the host layer: core's receive path
 			// releases the packet once it is terminally consumed.
-			n.Eng.After2(n.Cfg.HostDelay, n.deliverFn, rx, pkt)
+			sh.eng.After2(n.Cfg.HostDelay, n.deliverFn, rx, pkt)
 		} else {
 			PutPacket(pkt)
 		}
@@ -404,10 +519,10 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		pkt.BarrierBE, pkt.BarrierC = be, c
 	}
 	dstHost := n.G.Host(n.HostOfProc(pkt.Dst))
-	n.hopsBuf = n.G.AppendNextHops(n.hopsBuf[:0], l.to, dstHost)
-	hops := n.hopsBuf
+	sh.hopsBuf = n.G.AppendNextHops(sh.hopsBuf[:0], l.to, dstHost)
+	hops := sh.hopsBuf
 	if len(hops) == 0 {
-		n.Stats.DeadDrop++
+		sh.stats.DeadDrop++
 		PutPacket(pkt)
 		return
 	}
@@ -418,7 +533,7 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		h := uint32(pkt.Src)*2654435761 + uint32(pkt.Dst)*40503
 		out = hops[h%uint32(len(hops))]
 	} else {
-		out = hops[n.rng.Intn(len(hops))]
+		out = hops[sh.rng.Intn(len(hops))]
 	}
 	// A uniform pipeline latency per logical switch: a physical switch is
 	// two logical halves (Fig. 3), each charging half the physical
@@ -430,7 +545,9 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 	if n.Cfg.NonuniformPipeline && l.kind == topology.LinkLoopback {
 		fwd = 0 // chaos-harness self-test: the pre-fix nonuniform pipeline
 	}
-	n.Eng.After2(fwd, n.transmitFn, n.links[out], pkt)
+	// The chosen egress leaves this node, whose shard we are on: the
+	// forwarding hop never crosses shards.
+	sh.eng.After2(fwd, n.transmitFn, n.links[out], pkt)
 }
 
 // nodeBarriers computes the per-plane min over live input links, clamped
@@ -513,14 +630,15 @@ func (n *Network) armRelay(node *nodeState, ls *linkState) {
 	}
 	ls.beaconPending = true
 	proc := n.beaconProcDelay()
-	trigger := n.Eng.Now()
+	trigger := ls.src.eng.Now()
 	if earliest := ls.lastBeaconTx + n.Cfg.BeaconInterval - proc; earliest > trigger {
 		trigger = earliest
 	}
 	// Two allocation-free steps: the trigger captures the barrier stamp
 	// into ls.pendBE/pendC (beaconPending serializes access), the fire
-	// step emits it one processing delay later.
-	n.Eng.At2(trigger, n.relayTriggerFn, node, ls)
+	// step emits it one processing delay later. Relays stay on the shard
+	// owning the node (= the egress links' shard under the pod cut).
+	ls.src.eng.At2(trigger, n.relayTriggerFn, node, ls)
 }
 
 // fireBeacon emits a beacon carrying barriers captured at trigger time on
@@ -531,7 +649,7 @@ func (n *Network) fireBeacon(node *nodeState, ls *linkState, be, c sim.Time) {
 	if ls.drained || n.G.LinkDead(ls.id) || n.G.NodeDead(node.id) {
 		return
 	}
-	now := n.Eng.Now()
+	now := ls.src.eng.Now()
 	if node.lastRelayBE < be {
 		node.lastRelayBE = be
 	}
@@ -565,7 +683,7 @@ func (n *Network) startSwitchBeacons() {
 // egress link; Grow calls it for links appended at runtime.
 func (n *Network) armSwitchBeaconTicker(ls *linkState) {
 	node := n.nodes[ls.from]
-	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
+	tk := sim.NewTicker(ls.src.eng, n.Cfg.BeaconInterval, 0, func() {
 		if n.G.NodeDead(ls.from) {
 			return
 		}
@@ -579,7 +697,7 @@ func (n *Network) armSwitchBeaconTicker(ls *linkState) {
 		if n.Cfg.DisableEventRelay {
 			holdoff = n.Cfg.BeaconInterval
 		}
-		if n.Eng.Now()-ls.lastBeaconTx < holdoff {
+		if ls.src.eng.Now()-ls.lastBeaconTx < holdoff {
 			return
 		}
 		n.armRelay(node, ls)
@@ -594,36 +712,56 @@ func (n *Network) startDeadLinkScanner() {
 	if n.Cfg.DeadLinkBeacons <= 0 || n.Cfg.DisableBeacons {
 		return
 	}
-	timeout := sim.Time(n.Cfg.DeadLinkBeacons) * n.Cfg.BeaconInterval
-	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
-		now := n.Eng.Now()
-		for _, l := range n.links {
-			// Host-terminating links are scanned too: §4.2's detection runs
-			// in lib1pipe's polling thread as much as in switches, and a
-			// host whose downlink went silent must be reported so the
-			// controller can fail it (it will never deliver again). A
-			// drained link is silent by design — graceful departure must
-			// never masquerade as a failure, so it is skipped before the
-			// timeout check rather than relying on alive alone (a straggler
-			// cannot resurrect it either; receive checks drained too).
-			if l.drained || !l.alive {
-				continue
-			}
-			if now-l.lastRx > timeout {
-				l.alive = false
-				if !n.Cfg.ControllerManagedCommit {
-					l.aliveC = false
-				}
-				// Removing the slowest input usually advances the min:
-				// relay the unblocked barrier immediately (§4.2).
-				n.scheduleRelays(n.nodes[l.to])
-				if n.OnLinkDead != nil {
-					n.OnLinkDead(n.G.Link(l.id), l.regC)
-				}
-			}
+	if n.sh != nil && n.Cfg.Parallel {
+		// Parallel shards must not read other shards' ingress state: each
+		// shard scans only the links it owns the receive side of. (The
+		// single global scanner below would race; in lockstep it is kept
+		// precisely because its one-event scan order matches the classic
+		// engine event for event.)
+		for _, sh := range n.shards {
+			sh := sh
+			tk := sim.NewTicker(sh.eng, n.Cfg.BeaconInterval, 0, func() {
+				n.scanLinks(sh.eng.Now(), sh.ingress)
+			})
+			n.tickers = append(n.tickers, tk)
 		}
+		return
+	}
+	tk := sim.NewTicker(n.Eng, n.Cfg.BeaconInterval, 0, func() {
+		n.scanLinks(n.Eng.Now(), n.links)
 	})
 	n.tickers = append(n.tickers, tk)
+}
+
+// scanLinks is one dead-link scan pass (§4.2): after DeadLinkBeacons silent
+// intervals an input link is removed from aggregation and reported once.
+func (n *Network) scanLinks(now sim.Time, links []*linkState) {
+	timeout := sim.Time(n.Cfg.DeadLinkBeacons) * n.Cfg.BeaconInterval
+	for _, l := range links {
+		// Host-terminating links are scanned too: §4.2's detection runs
+		// in lib1pipe's polling thread as much as in switches, and a
+		// host whose downlink went silent must be reported so the
+		// controller can fail it (it will never deliver again). A
+		// drained link is silent by design — graceful departure must
+		// never masquerade as a failure, so it is skipped before the
+		// timeout check rather than relying on alive alone (a straggler
+		// cannot resurrect it either; receive checks drained too).
+		if l.drained || !l.alive {
+			continue
+		}
+		if now-l.lastRx > timeout {
+			l.alive = false
+			if !n.Cfg.ControllerManagedCommit {
+				l.aliveC = false
+			}
+			// Removing the slowest input usually advances the min:
+			// relay the unblocked barrier immediately (§4.2).
+			n.scheduleRelays(n.nodes[l.to])
+			if n.OnLinkDead != nil {
+				n.OnLinkDead(n.G.Link(l.id), l.regC)
+			}
+		}
+	}
 }
 
 // EnableObs arms a sampler that records, every interval, how far each
@@ -633,7 +771,14 @@ func (n *Network) startDeadLinkScanner() {
 // (SpanSwitchQDepth). Host nodes are skipped: their barrier state lives in
 // the core endpoint, not in the fabric. Returns the trace for merging into
 // experiment reports.
+//
+// The sampler reads every switch's state from one ticker, so it is only
+// valid on single-engine and lockstep networks; it panics on a parallel
+// one rather than race on cross-shard reads.
 func (n *Network) EnableObs(interval sim.Time) *obs.Trace {
+	if n.sh != nil && n.Cfg.Parallel {
+		panic("netsim: EnableObs is not supported on a parallel sharded network")
+	}
 	if n.Obs != nil {
 		return n.Obs
 	}
@@ -713,11 +858,13 @@ const DrainedRegister = sim.Time(1) << 62
 func (n *Network) Grow() []topology.LinkID {
 	g := n.G
 	now := n.Eng.Now()
+	n.shardMap.Grow(g)
 	for i := len(n.nodes); i < len(g.Nodes); i++ {
 		n.nodes = append(n.nodes, &nodeState{id: topology.NodeID(i)})
+		n.nodeSh = append(n.nodeSh, n.shards[n.shardMap.Of(topology.NodeID(i))])
 	}
 	for hi := len(n.Clocks); hi < len(g.Hosts); hi++ {
-		n.Clocks = append(n.Clocks, clock.New(n.Eng, n.Eng.Rand(), n.Cfg.Clock))
+		n.Clocks = append(n.Clocks, n.newHostClock(hi))
 		n.hostRx = append(n.hostRx, nil)
 	}
 	var added []topology.LinkID
@@ -822,12 +969,89 @@ func (n *Network) MaxBarrier() sim.Time {
 	return max
 }
 
+// Sharded reports the shard group driving the network, or nil for the
+// classic single engine.
+func (n *Network) Sharded() *sim.ShardedEngine { return n.sh }
+
+// ShardCount returns the number of shard engines (1 for the classic
+// single-engine network; may be lower than Cfg asked for if the cut was
+// degenerate).
+func (n *Network) ShardCount() int { return len(n.shards) }
+
+// Now returns the completed virtual time of the simulation.
+func (n *Network) Now() sim.Time {
+	if n.sh != nil {
+		return n.sh.Now()
+	}
+	return n.Eng.Now()
+}
+
+// RunFor advances the simulation by d, through the shard group when the
+// network is sharded. Callers must use this (or RunUntil) instead of
+// driving Eng directly so sharded networks execute all shards.
+func (n *Network) RunFor(d sim.Time) {
+	if n.sh != nil {
+		n.sh.RunFor(d)
+		return
+	}
+	n.Eng.RunFor(d)
+}
+
+// RunUntil advances the simulation to the absolute time deadline.
+func (n *Network) RunUntil(deadline sim.Time) {
+	if n.sh != nil {
+		n.sh.RunUntil(deadline)
+		return
+	}
+	n.Eng.RunUntil(deadline)
+}
+
+// DrainEvents empties every event queue, returning the count of live
+// events that never executed (Engine.Drain aggregated over shards).
+func (n *Network) DrainEvents() int {
+	if n.sh != nil {
+		return n.sh.Drain()
+	}
+	return n.Eng.Drain()
+}
+
+// TotalStats merges the per-shard network statistics. On a single-engine
+// network it is exactly the Stats field.
+func (n *Network) TotalStats() Stats {
+	if n.sh == nil {
+		return n.Stats
+	}
+	t := n.Stats
+	for _, sh := range n.shards {
+		t.Add(sh.stats)
+	}
+	return t
+}
+
+// ExecutedEvents returns the total number of events executed so far,
+// summed over shards.
+func (n *Network) ExecutedEvents() uint64 {
+	if n.sh != nil {
+		return n.sh.ExecutedTotal()
+	}
+	return n.Eng.Executed
+}
+
 // Stop halts all periodic activity so the event queue can drain.
 func (n *Network) Stop() {
 	for _, tk := range n.tickers {
 		tk.Stop()
 	}
 	n.tickers = nil
+}
+
+// Close releases the shard worker goroutines of a parallel network. The
+// network cannot run afterwards. A no-op for single-engine and lockstep
+// networks.
+func (n *Network) Close() {
+	if n.sh != nil {
+		n.sh.Close()
+	}
 }
 
 // String summarizes the network for logs.

@@ -13,6 +13,7 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"onepipe/internal/sim"
 )
@@ -142,8 +143,11 @@ type Packet struct {
 	// it is not part of the wire format and never crosses a real NIC.
 	QueueWait sim.Time
 
-	// pooled guards against double-release; see PutPacket.
-	pooled bool
+	// pooled guards against double-release; see PutPacket. It is flipped
+	// with atomic compare-and-swap so the guard stays sound when shards
+	// release packets concurrently (a plain uint32 rather than
+	// atomic.Uint32 so the PutPacket struct reset stays a plain copy).
+	pooled uint32
 }
 
 func (p *Packet) String() string {
@@ -234,23 +238,35 @@ var pktPool = sync.Pool{New: func() any { return new(Packet) }}
 // host-delivered packets — releases it with PutPacket. Code that constructs
 // packets with plain literals keeps working: such packets simply join the
 // pool on their first release.
+//
+// Cross-shard handoff (parallel sharded simulation): exactly one shard
+// owns a packet at any instant. The owning shard is the one executing the
+// packet's current event — transmit runs on the egress shard, which
+// schedules the arrival through the window-barrier outbox; from that point
+// the ingress shard owns the packet and the sender shard must not touch it
+// again. The barrier's happens-before edge publishes the packet's fields;
+// sync.Pool is itself concurrency-safe, and the atomic double-free guard
+// below keeps the twice-released diagnostic sound even if two shards race
+// on a buggy release.
 func GetPacket() *Packet {
 	p := pktPool.Get().(*Packet)
-	p.pooled = false
+	atomic.StoreUint32(&p.pooled, 0)
 	return p
 }
 
 // PutPacket resets p and returns it to the free list. Releasing the same
 // packet twice is an ownership bug that would silently alias two in-flight
-// packets; it panics instead.
+// packets; it panics instead — the pooled flag is claimed with a CAS so
+// concurrent double release from two shards panics on one of them rather
+// than corrupting the pool.
 func PutPacket(p *Packet) {
-	if p.pooled {
+	if !atomic.CompareAndSwapUint32(&p.pooled, 0, 1) {
 		panic("netsim: PutPacket called twice on the same packet")
 	}
 	if f, ok := p.Payload.(*Frame); ok {
 		PutFrame(f)
 	}
-	*p = Packet{pooled: true}
+	*p = Packet{pooled: 1}
 	pktPool.Put(p)
 }
 

@@ -66,6 +66,25 @@ type Engine struct {
 	// Executed counts events run so far; useful as a progress and
 	// runaway-loop diagnostic.
 	Executed uint64
+
+	// dead counts tombstones: events still in the heap whose effect was
+	// cancelled (a stopped or re-armed Timer). They execute as no-ops, so
+	// Pending subtracts them to report the number of *live* events.
+	dead int
+
+	// Sharded operation (see ShardedEngine). A standalone engine leaves all
+	// of these zero and pays only a nil check on the hot paths.
+	//
+	// nowp, when non-nil, is a clock shared by every shard of a lockstep
+	// group: the group executes one global event at a time, so all shards
+	// observe the same virtual time, exactly as a single engine would.
+	// gseq, when non-nil, is the group's shared sequence counter: ties on
+	// equal timestamps break in global scheduling order across shards,
+	// which makes the lockstep group order-identical to one big heap.
+	nowp *Time
+	gseq *uint64
+	sh   *ShardedEngine
+	id   int32
 }
 
 // NewEngine returns an engine at time zero with a deterministic random
@@ -75,7 +94,25 @@ func NewEngine(seed int64) *Engine {
 }
 
 // Now returns the current virtual time.
-func (e *Engine) Now() Time { return e.now }
+func (e *Engine) Now() Time {
+	if e.nowp != nil {
+		return *e.nowp
+	}
+	return e.now
+}
+
+// setNow advances the engine clock (or the lockstep group clock).
+func (e *Engine) setNow(t Time) {
+	if e.nowp != nil {
+		*e.nowp = t
+	} else {
+		e.now = t
+	}
+}
+
+// Shard returns the engine's shard index within its ShardedEngine group
+// (0 for a standalone engine).
+func (e *Engine) Shard() int32 { return e.id }
 
 // Rand returns the engine's deterministic random source. All randomness in a
 // simulation (loss, jitter, workload) must come from here to keep runs
@@ -140,12 +177,17 @@ func (e *Engine) pop() event {
 // schedule clamps t to the present, assigns the FIFO sequence number and
 // enqueues.
 func (e *Engine) schedule(t Time, ev event) {
-	if t < e.now {
-		t = e.now
+	if now := e.Now(); t < now {
+		t = now
 	}
-	e.seq++
+	if e.gseq != nil {
+		*e.gseq++
+		ev.seq = *e.gseq
+	} else {
+		e.seq++
+		ev.seq = e.seq
+	}
 	ev.at = t
-	ev.seq = e.seq
 	e.push(ev)
 }
 
@@ -157,7 +199,7 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, fn func()) { e.At(e.now+d, fn) }
+func (e *Engine) After(d Time, fn func()) { e.At(e.Now()+d, fn) }
 
 // At2 schedules fn(a, b) at absolute virtual time t. Unlike At, no closure
 // is needed: callers keep one capture-free fn per call site and pass the
@@ -169,7 +211,28 @@ func (e *Engine) At2(t Time, fn func(a, b any), a, b any) {
 
 // After2 schedules fn(a, b) to run d nanoseconds from now.
 func (e *Engine) After2(d Time, fn func(a, b any), a, b any) {
-	e.At2(e.now+d, fn, a, b)
+	e.At2(e.Now()+d, fn, a, b)
+}
+
+// At2On schedules fn(a, b) at absolute time t on dst's event queue. It is
+// the cross-shard handoff primitive: e must be the engine currently
+// executing (the caller's shard), dst the shard that owns the target state.
+//
+//   - Standalone or same-shard: identical to dst.At2.
+//   - Lockstep group: a direct push onto dst's heap with the group's shared
+//     sequence number — order-identical to a single global heap.
+//   - Parallel group: the event is buffered in the sender's outbox and
+//     injected at the next window barrier, ordered by (time, srcShard, seq).
+//     t must be at least one lookahead ahead of the sender's clock; the
+//     barrier panics on violations instead of corrupting causality.
+func (e *Engine) At2On(dst *Engine, t Time, fn func(a, b any), a, b any) {
+	if dst == e || e.sh == nil || !e.sh.parallel {
+		dst.schedule(t, event{fn2: fn, a: a, b: b})
+		return
+	}
+	e.seq++
+	ob := &e.sh.outbox[e.id]
+	*ob = append(*ob, xev{dst: dst.id, at: t, seq: e.seq, src: e.id, fn2: fn, a: a, b: b})
 }
 
 // Step executes the next pending event, advancing virtual time. It reports
@@ -179,7 +242,7 @@ func (e *Engine) Step() bool {
 		return false
 	}
 	ev := e.pop()
-	e.now = ev.at
+	e.setNow(ev.at)
 	e.Executed++
 	if ev.fn != nil {
 		ev.fn()
@@ -189,29 +252,68 @@ func (e *Engine) Step() bool {
 	return true
 }
 
-// Run executes events until the queue is empty.
+// Run executes events until the queue is empty. On a shard of a
+// ShardedEngine group, the call drives the whole group — pre-sharding
+// call sites that hold one engine keep working when the simulation is
+// sharded underneath them.
 func (e *Engine) Run() {
+	if e.sh != nil {
+		e.sh.Run()
+		return
+	}
 	for e.Step() {
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, then sets the
 // current time to the deadline. Events scheduled beyond the deadline remain
-// queued.
+// queued. On a shard of a ShardedEngine group, the call drives the whole
+// group (see Run); it must come from the coordinating goroutine, never
+// from inside an event.
 func (e *Engine) RunUntil(deadline Time) {
+	if e.sh != nil {
+		e.sh.RunUntil(deadline)
+		return
+	}
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
-	if e.now < deadline {
-		e.now = deadline
+	if e.Now() < deadline {
+		e.setNow(deadline)
 	}
 }
 
 // RunFor advances the simulation by d nanoseconds of virtual time.
-func (e *Engine) RunFor(d Time) { e.RunUntil(e.now + d) }
+func (e *Engine) RunFor(d Time) { e.RunUntil(e.Now() + d) }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+// runWindow executes every event with timestamp strictly below horizon.
+// It is the per-shard body of one conservative-lookahead window: events at
+// or beyond the horizon may still be preempted by a cross-shard arrival, so
+// they stay queued. The shard clock is left at the last executed event.
+func (e *Engine) runWindow(horizon Time) {
+	for len(e.events) > 0 && e.events[0].at < horizon {
+		e.Step()
+	}
+}
+
+// Pending reports the number of queued *live* events: cancelled timer
+// firings still sitting in the heap as tombstones are not counted, so the
+// value is accurate after RunUntil exits early with stopped timers pending.
+func (e *Engine) Pending() int { return len(e.events) - e.dead }
+
+// Drain discards every queued event and returns how many of them were live
+// (not tombstones of cancelled timers). Use it at shutdown to account for
+// work the simulation never executed; after Drain the queue is empty and
+// Pending reports zero.
+func (e *Engine) Drain() int {
+	n := len(e.events) - e.dead
+	for i := range e.events {
+		e.events[i] = event{}
+	}
+	e.events = e.events[:0]
+	e.dead = 0
+	return n
+}
 
 // NextEventTime returns the timestamp of the earliest queued event and
 // whether one exists.

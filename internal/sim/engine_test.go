@@ -275,3 +275,67 @@ func TestTickerStopInsideCallback(t *testing.T) {
 		t.Fatalf("fired %d, want 1", fired)
 	}
 }
+
+// TestPendingExcludesStoppedTimers is the Stop()-vs-pending regression: a
+// stopped timer leaves its scheduled firing in the heap as a tombstone, and
+// Pending must not count it — before tombstone accounting, RunUntil exiting
+// early with a stopped timer queued reported one pending event too many.
+func TestPendingExcludesStoppedTimers(t *testing.T) {
+	e := NewEngine(1)
+	e.At(200, func() {})
+	tm := NewTimer(e, func() { t.Fatal("stopped timer fired") })
+	tm.Reset(100)
+	tm.Stop()
+	e.RunUntil(50) // exits early: both events are still queued
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after Stop = %d, want 1", got)
+	}
+	e.Run()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// TestPendingExcludesRearmedTimers: each Reset of an armed timer orphans
+// the previous firing; only the latest counts.
+func TestPendingExcludesRearmedTimers(t *testing.T) {
+	e := NewEngine(1)
+	fired := 0
+	tm := NewTimer(e, func() { fired++ })
+	tm.Reset(100)
+	tm.Reset(300)
+	tm.Reset(500)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending after re-arms = %d, want 1", got)
+	}
+	e.Run()
+	if fired != 1 {
+		t.Fatalf("fired %d, want 1", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Run = %d, want 0", got)
+	}
+}
+
+// TestDrainReturnsLiveCount: Drain empties the queue and reports only live
+// events, not timer tombstones.
+func TestDrainReturnsLiveCount(t *testing.T) {
+	e := NewEngine(1)
+	e.At(100, func() {})
+	e.At2(200, func(a, b any) {}, nil, nil)
+	tm := NewTimer(e, func() {})
+	tm.Reset(150)
+	tm.Stop()
+	if got := e.Drain(); got != 2 {
+		t.Fatalf("Drain = %d, want 2", got)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending after Drain = %d, want 0", got)
+	}
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("events remain after Drain")
+	}
+	if got := e.Drain(); got != 0 {
+		t.Fatalf("second Drain = %d, want 0", got)
+	}
+}

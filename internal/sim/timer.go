@@ -18,14 +18,20 @@ func NewTimer(eng *Engine, fn func()) *Timer {
 }
 
 // Reset (re)arms the timer to fire d nanoseconds from now, replacing any
-// previously scheduled firing.
+// previously scheduled firing. The replaced firing stays in the event heap
+// as a tombstone (it runs as a no-op); the engine counts tombstones so
+// Pending stays accurate.
 func (t *Timer) Reset(d Time) {
+	if t.armed {
+		t.eng.dead++
+	}
 	t.epoch++
 	t.armed = true
 	t.at = t.eng.Now() + d
 	epoch := t.epoch
 	t.eng.After(d, func() {
-		if t.epoch != epoch || !t.armed {
+		if t.epoch != epoch {
+			t.eng.dead--
 			return
 		}
 		t.armed = false
@@ -35,6 +41,9 @@ func (t *Timer) Reset(d Time) {
 
 // Stop disarms the timer. It is safe to call on a disarmed timer.
 func (t *Timer) Stop() {
+	if t.armed {
+		t.eng.dead++
+	}
 	t.epoch++
 	t.armed = false
 }

@@ -1,0 +1,81 @@
+package topology
+
+// ShardMap partitions the graph's nodes into n shards for parallel
+// discrete-event simulation. The cut follows pod boundaries: a pod's hosts,
+// ToRs and spines (both halves) land on one shard, pods are distributed
+// round-robin, and the core layer — shared by every pod — is pinned to
+// shard 0 together with anything podless (the controller attaches there).
+//
+// With this cut the only links whose endpoints live on different shards are
+// spine↔core hops, so the conservative lookahead of the parallel engine is
+// the spine–core propagation delay — the largest latency in the fabric.
+type ShardMap struct {
+	// NodeShard maps NodeID -> shard index.
+	NodeShard []int32
+	// N is the shard count.
+	N int
+}
+
+// shardOfPod places pod p: pods round-robin over shards, podless nodes
+// (cores, pod -1) on shard 0.
+func shardOfPod(pod, n int) int32 {
+	if pod < 0 {
+		return 0
+	}
+	return int32(pod % n)
+}
+
+// PodShards computes the pod-cut shard assignment for n shards. n < 1 is
+// treated as 1 (everything on shard 0).
+func (g *Graph) PodShards(n int) ShardMap {
+	if n < 1 {
+		n = 1
+	}
+	m := ShardMap{NodeShard: make([]int32, len(g.Nodes)), N: n}
+	for i, nd := range g.Nodes {
+		m.NodeShard[i] = shardOfPod(nd.Pod, n)
+	}
+	return m
+}
+
+// Of returns the shard owning node id.
+func (m ShardMap) Of(id NodeID) int32 { return m.NodeShard[id] }
+
+// Grow extends the map with the assignment for nodes appended to g since
+// the map was computed (runtime host joins / spine additions).
+func (m *ShardMap) Grow(g *Graph) {
+	for i := len(m.NodeShard); i < len(g.Nodes); i++ {
+		m.NodeShard = append(m.NodeShard, shardOfPod(g.Nodes[i].Pod, m.N))
+	}
+}
+
+// CutLinks returns the links whose endpoints live on different shards —
+// the only places a packet crosses a shard boundary.
+func (m ShardMap) CutLinks(g *Graph) []LinkID {
+	var cut []LinkID
+	for _, l := range g.Links {
+		if m.NodeShard[l.From] != m.NodeShard[l.To] {
+			cut = append(cut, l.ID)
+		}
+	}
+	return cut
+}
+
+// MinCrossShardLatency returns the minimum latency over all cut links, with
+// lat mapping a link kind to its one-way propagation delay (in the caller's
+// unit). It is the conservative lookahead bound of the parallel engine: no
+// event can cross a shard boundary in less virtual time. ok is false when
+// the cut is empty (single shard, or a degenerate graph) and the bound is
+// meaningless.
+func (g *Graph) MinCrossShardLatency(m ShardMap, lat func(LinkKind) int64) (min int64, ok bool) {
+	for _, l := range g.Links {
+		if m.NodeShard[l.From] == m.NodeShard[l.To] {
+			continue
+		}
+		d := lat(l.Kind)
+		if !ok || d < min {
+			min, ok = d, true
+		}
+	}
+	return min, ok
+}

@@ -1,0 +1,78 @@
+package topology
+
+import "testing"
+
+// TestPodShardsCutOnlySpineCore: with the pod cut, every intra-pod link
+// (host↔ToR, ToR↔spine, loopbacks) stays on one shard; only spine↔core
+// hops cross, and cores sit on shard 0.
+func TestPodShardsCutOnlySpineCore(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 4, RacksPerPod: 2, HostsPerRack: 4, SpinesPerPod: 2, Cores: 4})
+	m := g.PodShards(2)
+	for _, nd := range g.Nodes {
+		want := int32(0)
+		if nd.Pod >= 0 {
+			want = int32(nd.Pod % 2)
+		}
+		if m.Of(nd.ID) != want {
+			t.Fatalf("node %s (pod %d): shard %d, want %d", nd.Name, nd.Pod, m.Of(nd.ID), want)
+		}
+	}
+	for _, id := range m.CutLinks(g) {
+		k := g.Links[id].Kind
+		if k != LinkSpineCoreUp && k != LinkCoreSpineDown {
+			t.Fatalf("cut link %d has kind %v; pod cut must only cross at spine↔core", id, k)
+		}
+	}
+	if len(m.CutLinks(g)) == 0 {
+		t.Fatal("expected a non-empty cut with 2 shards")
+	}
+}
+
+// TestPodShardsSingleShardHasNoCut: n=1 puts everything on shard 0.
+func TestPodShardsSingleShardHasNoCut(t *testing.T) {
+	g := NewClos(Testbed())
+	m := g.PodShards(1)
+	if got := m.CutLinks(g); len(got) != 0 {
+		t.Fatalf("single shard cut %d links, want 0", len(got))
+	}
+	if _, ok := g.MinCrossShardLatency(m, func(LinkKind) int64 { return 1 }); ok {
+		t.Fatal("MinCrossShardLatency reported a bound for an empty cut")
+	}
+}
+
+// TestMinCrossShardLatencyPicksSpineCore: the lookahead bound equals the
+// spine–core latency under the pod cut.
+func TestMinCrossShardLatencyPicksSpineCore(t *testing.T) {
+	g := NewClos(Testbed())
+	m := g.PodShards(2)
+	lat := func(k LinkKind) int64 {
+		switch k {
+		case LinkSpineCoreUp, LinkCoreSpineDown:
+			return 400
+		default:
+			return 100
+		}
+	}
+	min, ok := g.MinCrossShardLatency(m, lat)
+	if !ok || min != 400 {
+		t.Fatalf("MinCrossShardLatency = %d, %v; want 400, true", min, ok)
+	}
+}
+
+// TestShardMapGrow: nodes added after the map was computed pick up their
+// pod's shard.
+func TestShardMapGrow(t *testing.T) {
+	g := NewClos(ClosConfig{Pods: 2, RacksPerPod: 2, HostsPerRack: 2, SpinesPerPod: 1, Cores: 1})
+	m := g.PodShards(2)
+	if _, _, err := g.AddHost(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	m.Grow(g)
+	host := g.Hosts[len(g.Hosts)-1]
+	if got := m.Of(host); got != 1 {
+		t.Fatalf("grown host in pod 1 on shard %d, want 1", got)
+	}
+	if len(m.NodeShard) != len(g.Nodes) {
+		t.Fatalf("map covers %d nodes, graph has %d", len(m.NodeShard), len(g.Nodes))
+	}
+}

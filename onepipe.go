@@ -191,6 +191,10 @@ type Config struct {
 	// wait; untagged ones deliver when locally stable (see
 	// internal/core.DeliverConflictAware). Takes precedence over Unified.
 	ConflictAware bool
+	// Shards splits the simulation engine into per-pod shard engines driven
+	// in deterministic lockstep (netsim.Config.Shards): results are
+	// byte-identical at any shard count. 0 or 1 keeps the single engine.
+	Shards int
 	// BatchWindow overrides how long a partial multi-message wire frame
 	// waits for more same-destination traffic (default 1 us simulated).
 	BatchWindow Timestamp
@@ -245,6 +249,7 @@ func NewCluster(cfg Config) *Cluster {
 			ncfg.Seed = cfg.Seed
 		}
 		ncfg.ControllerManagedCommit = cfg.WithController
+		ncfg.Shards = cfg.Shards
 	}
 	ecfg := core.DefaultConfig()
 	if cfg.Endpoint != nil {

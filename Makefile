@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict scale
+.PHONY: all build test race bench bench-json bench-gate slo slo-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict scale
 
 all: vet test
 
@@ -33,6 +33,17 @@ bench-json:
 # regression against the committed BENCH_core.json.
 bench-gate:
 	$(GO) run ./cmd/onepipe-bench -bench-gate BENCH_core.json
+
+# The SLO race: batched / unbatched / conflict-aware configs under one
+# recorded trace + impairment profile, p50/p99/p999 (docs/workloads.md).
+slo:
+	$(GO) run ./cmd/onepipe-bench -fig slo
+
+# CI's tail-latency smoke: re-run the quick SLO race and fail on delivery
+# drift (the race is deterministic) or a >25% p99 regression against the
+# committed BENCH_core.json.
+slo-gate:
+	$(GO) run ./cmd/onepipe-bench -slo-gate BENCH_core.json
 
 # Regenerate every figure/table at quick scale into results_quick.txt.
 results:

@@ -81,9 +81,13 @@ type benchReport struct {
 	E2EUnbatchedMsgsPerSec float64                `json:"e2e_unbatched_msgs_per_sec,omitempty"`
 	SendOccupancy          *occupancySummary      `json:"send_frame_occupancy,omitempty"`
 	RecvOccupancy          *occupancySummary      `json:"recv_batch_occupancy,omitempty"`
-	QuickSuiteWallS        float64                `json:"quick_suite_wall_s,omitempty"`
-	Benchmarks             map[string]benchResult `json:"benchmarks"`
-	Baseline               *benchBaseline         `json:"baseline,omitempty"`
+	// SLO carries the -fig slo percentile rows (batched / unbatched /
+	// conflict-aware under the reference trace + impairment profile) at
+	// quick scale. The slo gate compares fresh p99s against these.
+	SLO             []experiments.SLORow   `json:"slo,omitempty"`
+	QuickSuiteWallS float64                `json:"quick_suite_wall_s,omitempty"`
+	Benchmarks      map[string]benchResult `json:"benchmarks"`
+	Baseline        *benchBaseline         `json:"baseline,omitempty"`
 }
 
 func toResult(r testing.BenchmarkResult) benchResult {
@@ -339,6 +343,7 @@ func runBenchJSON(outPath string, withSuite bool) error {
 	so, ro := summarize(sendOcc), summarize(recvOcc)
 	rep.SendOccupancy, rep.RecvOccupancy = &so, &ro
 	rep.E2EUnbatchedMsgsPerSec, _, _ = benchE2E(false)
+	rep.SLO = experiments.RunSLO(experiments.Quick())
 
 	if withSuite {
 		start := time.Now()
@@ -388,6 +393,10 @@ func runBenchJSON(outPath string, withSuite bool) error {
 			rep.RecvOccupancy.Mean, rep.RecvOccupancy.P50, rep.RecvOccupancy.P99,
 			rep.RecvOccupancy.Max, rep.RecvOccupancy.Count)
 	}
+	for _, r := range rep.SLO {
+		fmt.Printf("slo %-14s %6d delivered  p50 %.2fus  p99 %.2fus  p999 %.2fus\n",
+			r.Config, r.Delivered, r.P50, r.P99, r.P999)
+	}
 	if rep.QuickSuiteWallS > 0 {
 		fmt.Printf("quick suite %8.1f s wall\n", rep.QuickSuiteWallS)
 	}
@@ -425,6 +434,55 @@ func runBenchGate(committedPath string) error {
 	if ratio < 0.90 {
 		return fmt.Errorf("bench gate: engine events/sec regressed %.0f%% (> 10%% budget)",
 			(1-ratio)*100)
+	}
+	return nil
+}
+
+// runSLOGate re-runs the quick-scale SLO race and fails if any config's p99
+// delivery latency regressed more than 25% against the committed report, or
+// if delivery counts drifted at all (the race is deterministic, so a count
+// change means a behavior change, not noise).
+func runSLOGate(committedPath string) error {
+	raw, err := os.ReadFile(committedPath)
+	if err != nil {
+		return fmt.Errorf("slo gate: %w", err)
+	}
+	var committed benchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("slo gate: parse %s: %w", committedPath, err)
+	}
+	if len(committed.SLO) == 0 {
+		return fmt.Errorf("slo gate: %s has no slo rows; refresh with -bench-json", committedPath)
+	}
+	fresh := experiments.RunSLO(experiments.Quick())
+	byName := make(map[string]experiments.SLORow, len(fresh))
+	for _, r := range fresh {
+		byName[r.Config] = r
+	}
+	var failures []string
+	for _, want := range committed.SLO {
+		got, ok := byName[want.Config]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("config %s missing from fresh run", want.Config))
+			continue
+		}
+		fmt.Printf("slo gate: %-14s delivered %d (committed %d)  p99 %.2fus (committed %.2fus)\n",
+			got.Config, got.Delivered, want.Delivered, got.P99, want.P99)
+		if got.Delivered != want.Delivered {
+			failures = append(failures, fmt.Sprintf(
+				"%s: delivered %d != committed %d (deterministic race; behavior changed — refresh BENCH_core.json if intended)",
+				want.Config, got.Delivered, want.Delivered))
+		}
+		if want.P99 > 0 && got.P99 > want.P99*1.25 {
+			failures = append(failures, fmt.Sprintf("%s: p99 %.2fus regressed >25%% vs committed %.2fus",
+				want.Config, got.P99, want.P99))
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "slo gate: "+f)
+		}
+		return fmt.Errorf("slo gate: %d failure(s)", len(failures))
 	}
 	return nil
 }

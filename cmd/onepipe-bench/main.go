@@ -8,6 +8,7 @@
 //	onepipe-bench -all [-full]
 //	onepipe-bench -bench-json [-bench-suite] [-bench-out BENCH_core.json]
 //	onepipe-bench -bench-gate BENCH_core.json
+//	onepipe-bench -slo-gate BENCH_core.json
 //
 // -full runs the paper's complete sweeps (up to 512 processes; minutes of
 // wall time); the default quick scale preserves every figure's shape with
@@ -46,6 +47,7 @@ func realMain() int {
 	benchOut := flag.String("bench-out", "BENCH_core.json", "output path for -bench-json")
 	benchSuite := flag.Bool("bench-suite", false, "with -bench-json: also time the quick figure suite (slow)")
 	benchGate := flag.String("bench-gate", "", "compare fresh engine events/sec against this committed report; fail on >10% regression")
+	sloGate := flag.String("slo-gate", "", "re-run the quick SLO race against this committed report; fail on delivery drift or >25% p99 regression")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -99,6 +101,11 @@ func realMain() int {
 	switch {
 	case *benchGate != "":
 		if err := runBenchGate(*benchGate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case *sloGate != "":
+		if err := runSLOGate(*sloGate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -179,6 +179,16 @@ type Plan struct {
 	Joins  []JoinEvent
 	Drains []DrainEvent
 
+	// Impair attaches a composable link-impairment profile
+	// (netsim.Config.Impair): Gilbert-Elliott burst loss, duty-cycle
+	// loss, reorder, RTT classes, or profile-expressed uniform loss/
+	// jitter. Like BatchWindow it is a crafted-scenario knob seed
+	// derivation never sets, so existing golden digests are unaffected.
+	// A profile expressing only uniform Loss/Jitter (with BaseLoss and
+	// Jitter left zero) replays the legacy knobs' digests byte-for-byte
+	// — TestLegacyKnobsViaProfileGoldenDigests pins that.
+	Impair *netsim.Profile
+
 	// Shards splits the network simulation into per-pod shard engines
 	// driven in deterministic lockstep (netsim.Config.Shards): the event
 	// order — and therefore every digest — is provably identical to the
@@ -379,6 +389,7 @@ func (p *Plan) NetConfig() netsim.Config {
 	cfg.Seed = p.Seed
 	cfg.LossRate = p.BaseLoss
 	cfg.Jitter = p.Jitter
+	cfg.Impair = p.Impair
 	cfg.FlowECMP = p.FlowECMP
 	cfg.ControllerManagedCommit = true
 	cfg.NonuniformPipeline = p.NonuniformPipeline

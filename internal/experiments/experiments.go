@@ -125,6 +125,7 @@ func Registry() []Runner {
 		{"chaos", "Randomized fault sweep with invariant checking (harness)", ChaosSweep},
 		{"scale", "Sharded-engine scaling: 1024-host fabric, parallel lookahead sweep", FabricScale},
 		{"conflict", "Ablation: conflict-aware relaxed order vs unified, by conflict rate", Conflict},
+		{"slo", "SLO race: p50/p99/p999 under one trace + impairment profile", SLO},
 	}
 }
 

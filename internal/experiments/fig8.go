@@ -3,9 +3,9 @@ package experiments
 import (
 	"onepipe/internal/baseline"
 	"onepipe/internal/core"
-	"onepipe/internal/netsim"
 	"onepipe/internal/sim"
 	"onepipe/internal/stats"
+	"onepipe/internal/workload"
 )
 
 // opResult is one 1Pipe data point of Fig. 8.
@@ -43,25 +43,11 @@ func runOnePipeBroadcast(sc Scale, n int, reliable bool, offered float64) opResu
 		}
 	}
 	gap := sim.Time(1e9 / offered)
-	for pi := range cl.Procs {
-		pi := pi
-		next := pi + 1
-		phase := sim.Time(int64(pi) * int64(gap) / int64(n))
-		sim.NewTicker(eng, gap, phase, func() {
-			dst := netsim.ProcID(next % n)
-			if int(dst) == pi {
-				next++
-				dst = netsim.ProcID(next % n)
-			}
-			next++
-			msg := []core.Message{{Dst: dst, Data: eng.Now(), Size: 64}}
-			if reliable {
-				cl.Procs[pi].SendReliable(msg)
-			} else {
-				cl.Procs[pi].Send(msg)
-			}
-		})
-	}
+	// The broadcast schedule is a workload.Source now; RoundRobin emits the
+	// exact (src, dst, at) sequence the per-process tickers used to produce
+	// (pinned by workload's TestRoundRobinSchedule), so the figures are
+	// unchanged.
+	driveSource(cl, workload.NewRoundRobin(n, gap, 64, reliable), 0)
 	eng.RunFor(sc.Warmup)
 	measuring = true
 	eng.RunFor(sc.Window)

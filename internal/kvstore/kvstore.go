@@ -83,6 +83,11 @@ type Config struct {
 	// RetryTimeout re-issues a transaction whose replies went missing.
 	RetryTimeout sim.Time
 	Seed         int64
+	// Txns, when non-nil, overrides the per-client transaction source
+	// (default: workload.NewTxnGen over the Zipf/Uniform keygen above,
+	// sharing the client's RNG). The rng argument is the client's own
+	// stream — the ROFrac draw stays on it either way.
+	Txns func(client int, rng *rand.Rand) workload.TxnSource
 }
 
 // DefaultConfig mirrors the paper's workload defaults: 1M keys, 2 ops per
@@ -173,7 +178,7 @@ type node struct {
 	st      *Store
 	proc    *core.Proc
 	rng     *rand.Rand
-	gen     *workload.TxnGen
+	gen     workload.TxnSource
 	data    map[uint64]*entry
 	cpuBusy sim.Time
 	applied map[*txn]bool
@@ -235,9 +240,15 @@ func New(cl *core.Cluster, mode Mode, cfg Config) *Store {
 		} else {
 			keys = workload.NewUniform(rng, cfg.Keys)
 		}
+		var gen workload.TxnSource
+		if cfg.Txns != nil {
+			gen = cfg.Txns(i, rng)
+		} else {
+			gen = workload.NewTxnGen(rng, keys, cfg.OpsPerTxn, cfg.WriteFrac)
+		}
 		n := &node{
 			st: st, proc: p, rng: rng,
-			gen:     workload.NewTxnGen(rng, keys, cfg.OpsPerTxn, cfg.WriteFrac),
+			gen:     gen,
 			data:    make(map[uint64]*entry),
 			applied: make(map[*txn]bool),
 		}

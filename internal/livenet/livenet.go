@@ -36,9 +36,18 @@ type Config struct {
 	// LossRate drops forwarded data-plane packets at the switch (the
 	// in-process links never lose on their own, so the retransmission
 	// machinery is exercised by injection, as in udpnet).
+	//
+	// Deprecated: use Impair with a netsim.Impairment{Loss: rate}. When
+	// both are set, the nonzero LossRate takes precedence over the
+	// impairment's uniform Loss (its other components still apply).
 	LossRate float64
 	// Seed seeds the loss RNG; zero draws from the wall clock.
 	Seed int64
+	// Impair, when non-nil, degrades data-plane packets at the switch with
+	// the full composable model (uniform loss, burst loss, jitter, extra
+	// delay) — the live-fabric counterpart of netsim.Config.Impair. The
+	// fabric has one switch, so one Impairment covers every path.
+	Impair *netsim.Impairment
 	// Endpoint overrides the lib1pipe configuration.
 	Endpoint *core.Config
 	// Trace installs a lifecycle tracer (internal/obs) on every host.
@@ -79,6 +88,9 @@ type Net struct {
 	regBE, regC []sim.Time
 	outBE, outC sim.Time
 	rng         *rand.Rand // loss injection; touched only on the loop
+	// imp applies Config.Impair (own RNG per the impairment determinism
+	// contract; touched only on the loop).
+	imp *netsim.ImpairState
 	// lastFwd records, per downlink, when the switch last forwarded a data
 	// packet: forwarded packets are restamped with the aggregated barrier,
 	// so a recently-active downlink needs no standalone beacon (§4.2
@@ -130,6 +142,13 @@ func New(cfg Config) *Net {
 		done:  make(chan struct{}),
 		start: time.Now(),
 		rng:   rand.New(rand.NewSource(seed)),
+	}
+	if cfg.Impair != nil && *cfg.Impair != (netsim.Impairment{}) {
+		imp := *cfg.Impair
+		if cfg.LossRate > 0 {
+			imp.Loss = 0 // legacy knob wins the uniform component
+		}
+		n.imp = netsim.NewImpairState(&imp, seed, 0)
 	}
 	n.wg.Add(1)
 	go n.run()
@@ -323,6 +342,15 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 		netsim.PutPacket(pkt)
 		return // injected loss: barrier registers updated, packet gone
 	}
+	delay := n.cfg.LinkDelay
+	if n.imp != nil {
+		now := sim.Time(time.Since(n.start))
+		if n.imp.Drop(now) {
+			netsim.PutPacket(pkt)
+			return // impairment loss: registers updated, packet gone
+		}
+		delay += time.Duration(n.imp.Delay(now))
+	}
 	be, c := n.aggregate()
 	pkt.BarrierBE, pkt.BarrierC = be, c
 	dstHost := int(pkt.Dst) / n.cfg.ProcsPerHost
@@ -331,7 +359,7 @@ func (n *Net) switchReceive(fromHost int, pkt *netsim.Packet) {
 		return
 	}
 	n.lastFwd[dstHost] = time.Now()
-	time.AfterFunc(n.cfg.LinkDelay, func() {
+	time.AfterFunc(delay, func() {
 		n.post(func() { n.hosts[dstHost].HandlePacket(pkt) })
 	})
 }

@@ -64,6 +64,9 @@ type linkState struct {
 	src, dst *shardState
 	busy sim.Time // egress busy-until
 	last sim.Time // last transmit completion (idle detection)
+	// imp is the resolved impairment state for this link (nil when the
+	// profile leaves it clean). Egress-owned: only transmit touches it.
+	imp *ImpairState
 	// lastTxBE/C track the freshest barriers already carried on this link
 	// (by stamped data in chip mode, or by earlier beacons), so a beacon
 	// adding no information is suppressed — the §4.2 "beacons on idle
@@ -302,6 +305,9 @@ func (n *Network) newLinkState(l topology.Link) *linkState {
 		src:  n.nodeSh[l.From],
 		dst:  n.nodeSh[l.To],
 	}
+	if imp := n.Cfg.Impair.For(l.ID, l.Kind); imp != nil && *imp != (Impairment{}) {
+		ls.imp = NewImpairState(imp, n.Cfg.Seed, l.ID)
+	}
 	ls.dst.ingress = append(ls.dst.ingress, ls)
 	return ls
 }
@@ -410,13 +416,32 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 	}
 	sh.stats.PktsByKind[pkt.Kind]++
 	sh.stats.BytesByKind[pkt.Kind] += uint64(pkt.Size)
-	if n.Cfg.LossRate > 0 && sh.rng.Float64() < n.Cfg.LossRate {
+	// Uniform corruption: the legacy global knob when set (runtime fault
+	// injection mutates it), otherwise the link profile's Loss. Either way
+	// the draw comes from the shared shard RNG at this exact point, so a
+	// profile-expressed LossRate replays a legacy run byte-for-byte.
+	loss := n.Cfg.LossRate
+	if loss == 0 && l.imp != nil {
+		loss = l.imp.Imp.Loss
+	}
+	if loss > 0 && sh.rng.Float64() < loss {
 		sh.stats.CorruptDrop++
 		PutPacket(pkt) // corrupted in flight; bandwidth already consumed
 		return
 	}
+	// Stateful loss models (Gilbert-Elliott bursts, duty-cycle windows)
+	// draw from the per-link RNG — and draw nothing when unconfigured.
+	if l.imp != nil && l.imp.dropBurst(now) {
+		sh.stats.CorruptDrop++
+		PutPacket(pkt)
+		return
+	}
 	arrive := l.busy + l.prop
-	if j := n.Cfg.Jitter; j > 0 {
+	j := n.Cfg.Jitter
+	if j == 0 && l.imp != nil {
+		j = l.imp.Imp.Jitter
+	}
+	if j > 0 {
 		// Bursty delay variance: mostly a small wiggle, occasionally a
 		// straggler several times the nominal jitter (transient queueing
 		// behind a burst) — the delay asymmetry that makes multi-path
@@ -432,6 +457,14 @@ func (n *Network) transmit(l *linkState, pkt *Packet) {
 			arrive = l.lastArrival
 		}
 		l.lastArrival = arrive
+	}
+	if l.imp != nil {
+		// ExtraDelay (RTT class) is constant per link and added after the
+		// clamp: it shifts every arrival equally, preserving FIFO. The
+		// reorder hold-back deliberately skips the clamp — it models a
+		// non-FIFO link — and must not drag later packets via lastArrival.
+		arrive += l.imp.Imp.ExtraDelay
+		arrive += l.imp.reorderExtra()
 	}
 	// Ownership handoff: from here the packet belongs to the receive-side
 	// shard. Cross-shard arrivals ride the window-barrier outbox; arrive is

@@ -1,0 +1,54 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestSampleHistogramPercentileEquivalence cross-checks the two percentile
+// implementations the experiments use: Sample (exact, sorted, linearly
+// interpolated) and Histogram (streaming HDR-style log-linear buckets,
+// ~3% quantization error with 5 sub-bucket bits). On dense data the two
+// must agree at p50/p99/p999 within the histogram's resolution — a
+// divergence beyond that means one of them is mis-ranking.
+func TestSampleHistogramPercentileEquivalence(t *testing.T) {
+	dists := []struct {
+		name string
+		draw func(r *rand.Rand) float64
+	}{
+		{"uniform", func(r *rand.Rand) float64 { return 1 + r.Float64()*9999 }},
+		{"exponential", func(r *rand.Rand) float64 { return 100 * r.ExpFloat64() }},
+		{"lognormal", func(r *rand.Rand) float64 { return math.Exp(5 + r.NormFloat64()) }},
+		{"bimodal", func(r *rand.Rand) float64 {
+			if r.Intn(10) == 0 {
+				return 5000 + r.Float64()*1000
+			}
+			return 10 + r.Float64()*50
+		}},
+	}
+	const n = 200_000
+	for _, d := range dists {
+		t.Run(d.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(42))
+			var s Sample
+			var h Histogram
+			for i := 0; i < n; i++ {
+				v := d.draw(r)
+				s.Add(v)
+				h.Add(v)
+			}
+			for _, p := range []float64{50, 99, 99.9} {
+				exact := s.Percentile(p)
+				approx := h.Percentile(p)
+				if exact <= 0 {
+					t.Fatalf("p%v: exact percentile %v not positive", p, exact)
+				}
+				if rel := math.Abs(approx-exact) / exact; rel > 0.05 {
+					t.Errorf("p%v: histogram %.4g vs sample %.4g (relative error %.1f%% > 5%%)",
+						p, approx, exact, rel*100)
+				}
+			}
+		})
+	}
+}

@@ -95,8 +95,8 @@ func (n *node) issue1Pipe(t *txn) {
 		t.snapshot = make([]uint64, n.b.Cfg.Warehouses)
 		for _, so := range t.shards {
 			msgs = append(msgs, core.Message{
-				Dst:  n.b.primary(so.shard),
-				Data: snapReq{t: t, shard: so.shard, key: so.ops[0].Key},
+				Dst:  n.b.primary(so.Shard),
+				Data: snapReq{t: t, shard: so.Shard, key: so.Ops[0].Key},
 				Size: 16,
 			})
 		}
@@ -109,9 +109,9 @@ func (n *node) issue1Pipe(t *txn) {
 	}
 	var msgs []core.Message
 	for _, so := range t.shards {
-		size := 32 * len(so.ops)
-		for _, r := range n.b.replicaSets[so.shard] {
-			msgs = append(msgs, core.Message{Dst: r, Data: cmdMsg{t: t, ops: so.ops}, Size: size})
+		size := 32 * len(so.Ops)
+		for _, r := range n.b.replicaSets[so.Shard] {
+			msgs = append(msgs, core.Message{Dst: r, Data: cmdMsg{t: t, ops: so.Ops}, Size: size})
 		}
 	}
 	if len(msgs) == 0 {
@@ -157,7 +157,7 @@ func (n *node) onDeliver(d core.Delivery) {
 // issueLock acquires exclusive locks shard by shard in ascending shard
 // order (deadlock freedom), then executes and replicates.
 func (n *node) issueLock(t *txn) {
-	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].shard < t.shards[j].shard })
+	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].Shard < t.shards[j].Shard })
 	t.phase = 1
 	t.lockIdx = 0
 	n.lockNextShard(t)
@@ -170,14 +170,14 @@ func (n *node) lockNextShard(t *txn) {
 		t.phase = 2
 		t.pending = len(t.shards)
 		for _, so := range t.shards {
-			n.proc.SendRaw(n.b.primary(so.shard), execReq{
-				t: t, ops: so.ops, unlock: opKeys(so.ops), shard: so.shard,
-			}, 32*len(so.ops))
+			n.proc.SendRaw(n.b.primary(so.Shard), execReq{
+				t: t, ops: so.Ops, unlock: opKeys(so.Ops), shard: so.Shard,
+			}, 32*len(so.Ops))
 		}
 		return
 	}
 	so := t.shards[t.lockIdx]
-	n.proc.SendRaw(n.b.primary(so.shard), lockReq{t: t, keys: opKeys(so.ops)}, 16*len(so.ops))
+	n.proc.SendRaw(n.b.primary(so.Shard), lockReq{t: t, keys: opKeys(so.Ops)}, 16*len(so.Ops))
 }
 
 func opKeys(ops []workload.Op) []uint64 {
@@ -292,7 +292,7 @@ func (n *node) issueOCC(t *txn) {
 	t.phase = occPhaseRead
 	t.pending = len(t.shards)
 	for _, so := range t.shards {
-		n.proc.SendRaw(n.b.primary(so.shard), occRead{t: t, keys: opKeys(so.ops)}, 16*len(so.ops))
+		n.proc.SendRaw(n.b.primary(so.Shard), occRead{t: t, keys: opKeys(so.Ops)}, 16*len(so.Ops))
 	}
 	n.armRetry(t)
 }
@@ -300,7 +300,7 @@ func (n *node) issueOCC(t *txn) {
 func (n *node) occWriteKeys(t *txn) [][]uint64 {
 	sets := make([][]uint64, len(t.shards))
 	for i, so := range t.shards {
-		for _, op := range so.ops {
+		for _, op := range so.Ops {
 			if op.Kind == workload.OpWrite {
 				sets[i] = append(sets[i], op.Key)
 			}
@@ -313,7 +313,7 @@ func (n *node) occAbort(t *txn) {
 	for i, so := range t.shards {
 		keys := n.occWriteKeys(t)[i]
 		if len(keys) > 0 {
-			n.proc.SendRaw(n.b.primary(so.shard), occUnlock{t: t, keys: keys}, 8*len(keys))
+			n.proc.SendRaw(n.b.primary(so.Shard), occUnlock{t: t, keys: keys}, 8*len(keys))
 		}
 	}
 	n.retryLater(t)
@@ -365,16 +365,16 @@ func (n *node) issueNonTX(t *txn) {
 		t.pending = len(t.shards)
 		t.snapshot = make([]uint64, n.b.Cfg.Warehouses)
 		for _, so := range t.shards {
-			n.proc.SendRaw(n.b.primary(so.shard), snapReq{t: t, shard: so.shard, key: so.ops[0].Key}, 16)
+			n.proc.SendRaw(n.b.primary(so.Shard), snapReq{t: t, shard: so.Shard, key: so.Ops[0].Key}, 16)
 		}
 		n.armRetry(t)
 		return
 	}
 	t.pending = len(t.shards)
 	for _, so := range t.shards {
-		n.proc.SendRaw(n.b.primary(so.shard), execReq{
-			t: t, ops: so.ops, async: true, shard: so.shard,
-		}, 32*len(so.ops))
+		n.proc.SendRaw(n.b.primary(so.Shard), execReq{
+			t: t, ops: so.Ops, async: true, shard: so.Shard,
+		}, 32*len(so.Ops))
 	}
 	n.armRetry(t)
 }
@@ -490,7 +490,7 @@ func (n *node) onOccReadReply(m occReadReply) {
 			for j, k := range sets[i] {
 				versions[j] = t.versions[k]
 			}
-			n.proc.SendRaw(n.b.primary(so.shard), occLock{t: t, keys: sets[i], versions: versions}, 24*len(sets[i]))
+			n.proc.SendRaw(n.b.primary(so.Shard), occLock{t: t, keys: sets[i], versions: versions}, 24*len(sets[i]))
 		}
 		if t.pending == 0 { // read-only: done after version read
 			n.finish(t, true)
@@ -531,7 +531,7 @@ func (n *node) onOccLockReply(m occLockReply) {
 			continue
 		}
 		t.pending++
-		n.proc.SendRaw(n.b.primary(so.shard), occRead{t: t, keys: readKeys[i]}, 16*len(readKeys[i]))
+		n.proc.SendRaw(n.b.primary(so.Shard), occRead{t: t, keys: readKeys[i]}, 16*len(readKeys[i]))
 	}
 	if t.pending == 0 {
 		n.occCommit(t)
@@ -542,7 +542,7 @@ func (n *node) occReadOnlyKeys(t *txn) [][]uint64 {
 	sets := make([][]uint64, len(t.shards))
 	any := false
 	for i, so := range t.shards {
-		for _, op := range so.ops {
+		for _, op := range so.Ops {
 			if op.Kind == workload.OpRead {
 				sets[i] = append(sets[i], op.Key)
 				any = true
@@ -561,7 +561,7 @@ func (n *node) occCommit(t *txn) {
 	sets := n.occWriteKeys(t)
 	for i, so := range t.shards {
 		var writes []workload.Op
-		for _, op := range so.ops {
+		for _, op := range so.Ops {
 			if op.Kind == workload.OpWrite {
 				writes = append(writes, op)
 			}
@@ -570,8 +570,8 @@ func (n *node) occCommit(t *txn) {
 			continue
 		}
 		t.pending++
-		n.proc.SendRaw(n.b.primary(so.shard), execReq{
-			t: t, ops: writes, unlock: sets[i], shard: so.shard,
+		n.proc.SendRaw(n.b.primary(so.Shard), execReq{
+			t: t, ops: writes, unlock: sets[i], shard: so.Shard,
 		}, 32*len(writes))
 	}
 	if t.pending == 0 {

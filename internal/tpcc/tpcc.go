@@ -58,13 +58,10 @@ func (m Mode) String() string {
 	return "?"
 }
 
-// Record-key layout inside a warehouse shard.
+// Record-key layout inside a warehouse shard (canonical constants live
+// with the generator in internal/workload).
 const (
-	keyWarehouseRow = 0      // the hot row
-	keyDistrictBase = 1      // 10 districts
-	keyCustomerBase = 100    // 3000 customers
-	keyStockBase    = 10_000 // 100k stock items
-	keyOrderBase    = 200_000
+	keyWarehouseRow = workload.TPCCWarehouseRow // the hot row
 )
 
 // Config parameterizes a run.
@@ -83,6 +80,11 @@ type Config struct {
 	// RetryTimeout re-issues transactions with lost replies.
 	RetryTimeout sim.Time
 	Seed         int64
+	// Txns, when non-nil, overrides the per-client transaction source
+	// (default: workload.NewTPCCGen sharing the client's RNG, which
+	// reproduces the historical mix draw-for-draw). The rng argument is
+	// the client's own stream — a source may share it or ignore it.
+	Txns func(client int, rng *rand.Rand) workload.ShardTxnSource
 }
 
 // DefaultConfig mirrors the paper: 4 warehouses, 3 replicas.
@@ -126,10 +128,7 @@ const (
 )
 
 // shardOps is one transaction's operations against one warehouse shard.
-type shardOps struct {
-	shard int
-	ops   []workload.Op
-}
+type shardOps = workload.ShardOps
 
 type txn struct {
 	client  *node
@@ -167,7 +166,11 @@ type Bench struct {
 type node struct {
 	b       *Bench
 	proc    *core.Proc
-	rng     *rand.Rand
+	rng *rand.Rand
+	gen workload.ShardTxnSource
+	// defGen, when the default generator is in use, lets genTxn track
+	// runtime Cfg.SnapshotFrac mutations (benchmarks set it post-New).
+	defGen *workload.TPCCGen
 	data    map[uint64]*record
 	cpuBusy sim.Time
 	applied map[*txn]bool
@@ -215,6 +218,14 @@ func New(cl *core.Cluster, mode Mode, cfg Config) *Bench {
 			waiters:  make(map[uint64][]*lockWait),
 			replWait: make(map[*txn]*replState),
 		}
+		if cfg.Txns != nil {
+			n.gen = cfg.Txns(i, n.rng)
+		} else {
+			// Sharing the node's rng keeps generator draws interleaved
+			// with retry-backoff draws exactly as they always were.
+			n.defGen = workload.NewTPCCGen(n.rng, cfg.Warehouses, cfg.SnapshotFrac)
+			n.gen = n.defGen
+		}
 		b.nodes = append(b.nodes, n)
 		p.OnDeliver = n.onDeliver
 		p.OnRaw = n.onRaw
@@ -252,59 +263,39 @@ func (b *Bench) Run(warmup, window sim.Time) *Stats {
 	return &b.Stats
 }
 
-func (n *node) key(w, local int) uint64 { return uint64(w)<<32 | uint64(local) }
+func (n *node) key(w, local int) uint64 { return workload.TPCCKey(w, local) }
 
-// genTxn builds a New-Order or Payment transaction (the 90% of TPC-C the
-// paper benchmarks, split evenly between the two) — or, with probability
-// SnapshotFrac, a read-only snapshot across every warehouse.
+// genTxn pulls the next transaction from the node's ShardTxnSource
+// (workload.TPCCGen by default — New-Order/Payment split evenly, plus
+// read-only snapshots at SnapshotFrac) and classifies its kind from the op
+// shape: all-reads is a snapshot, a write to the hot warehouse row is a
+// Payment, anything else is a New-Order.
 func (n *node) genTxn() *txn {
 	t := &txn{client: n, started: n.b.cl.Net.Eng.Now()}
-	if n.b.Cfg.SnapshotFrac > 0 && n.rng.Float64() < n.b.Cfg.SnapshotFrac {
-		t.kind = txSnapshot
-		for w := 0; w < n.b.Cfg.Warehouses; w++ {
-			t.shards = append(t.shards, shardOps{shard: w, ops: []workload.Op{
-				{Kind: workload.OpRead, Key: n.key(w, keyWarehouseRow)},
-			}})
-		}
-		return t
+	if n.defGen != nil {
+		n.defGen.SetSnapshotFrac(n.b.Cfg.SnapshotFrac)
 	}
-	w := n.rng.Intn(n.b.Cfg.Warehouses)
-	d := n.rng.Intn(10)
-	if n.rng.Intn(2) == 0 {
-		t.kind = txNewOrder
-		ops := []workload.Op{
-			{Kind: workload.OpRead, Key: n.key(w, keyWarehouseRow)},
-			{Kind: workload.OpWrite, Key: n.key(w, keyDistrictBase+d), Value: 16},
-			{Kind: workload.OpWrite, Key: n.key(w, keyOrderBase+n.rng.Intn(1<<20)), Value: 64},
-		}
-		items := 5 + n.rng.Intn(11)
-		remote := -1
-		if n.rng.Intn(100) == 0 && n.b.Cfg.Warehouses > 1 {
-			remote = (w + 1 + n.rng.Intn(n.b.Cfg.Warehouses-1)) % n.b.Cfg.Warehouses
-		}
-		var remoteOps []workload.Op
-		for i := 0; i < items; i++ {
-			item := n.rng.Intn(100_000)
-			if remote >= 0 && i == 0 {
-				remoteOps = append(remoteOps, workload.Op{Kind: workload.OpWrite, Key: n.key(remote, keyStockBase+item), Value: 16})
-				continue
-			}
-			ops = append(ops, workload.Op{Kind: workload.OpWrite, Key: n.key(w, keyStockBase+item), Value: 16})
-		}
-		t.shards = []shardOps{{shard: w, ops: ops}}
-		if len(remoteOps) > 0 {
-			t.shards = append(t.shards, shardOps{shard: remote, ops: remoteOps})
-		}
-	} else {
-		t.kind = txPayment
-		c := n.rng.Intn(3000)
-		t.shards = []shardOps{{shard: w, ops: []workload.Op{
-			{Kind: workload.OpWrite, Key: n.key(w, keyWarehouseRow), Value: 8}, // hot row
-			{Kind: workload.OpWrite, Key: n.key(w, keyDistrictBase+d), Value: 8},
-			{Kind: workload.OpWrite, Key: n.key(w, keyCustomerBase+c), Value: 16},
-		}}}
-	}
+	t.shards = n.gen.Next()
+	t.kind = classify(t.shards)
 	return t
+}
+
+func classify(shards []shardOps) txKind {
+	allRead := true
+	for _, s := range shards {
+		for _, op := range s.Ops {
+			if op.Kind != workload.OpRead {
+				allRead = false
+			}
+			if op.Kind == workload.OpWrite && op.Key&0xffffffff == keyWarehouseRow {
+				return txPayment
+			}
+		}
+	}
+	if allRead {
+		return txSnapshot
+	}
+	return txNewOrder
 }
 
 func (n *node) startTxn() { n.issue(n.genTxn()) }

@@ -38,6 +38,9 @@ type Switch struct {
 	outBE   sim.Time
 	outC    sim.Time
 	rng     *rand.Rand
+	// imp applies Config.Impair. It draws from its own RNG, never s.rng —
+	// seed-pinned tests depend on the legacy stream staying untouched.
+	imp *netsim.ImpairState
 	closed  bool
 	stopped chan struct{}
 	wg      sync.WaitGroup
@@ -71,6 +74,13 @@ func newSwitch(cfg Config, epoch time.Time) (*Switch, error) {
 		rng:       rand.New(rand.NewSource(seed)),
 		stopped:   make(chan struct{}),
 		regNotify: make(chan struct{}, 1),
+	}
+	if cfg.Impair != nil && *cfg.Impair != (netsim.Impairment{}) {
+		imp := *cfg.Impair
+		if cfg.LossRate > 0 {
+			imp.Loss = 0 // legacy knob wins the uniform component
+		}
+		s.imp = netsim.NewImpairState(&imp, seed, 0)
 	}
 	s.wg.Add(2)
 	go s.readLoop()
@@ -196,6 +206,15 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 		s.Dropped++
 		return
 	}
+	var extra time.Duration
+	if s.imp != nil {
+		now := sim.Time(time.Since(s.epoch))
+		if s.imp.Drop(now) {
+			s.Dropped++
+			return
+		}
+		extra = time.Duration(s.imp.Delay(now))
+	}
 	be, c := s.aggregateLocked()
 	dst := s.addrs[dstHost]
 	if dst == nil {
@@ -209,6 +228,13 @@ func (s *Switch) handle(pkt *netsim.Packet, payload, raw []byte, from *net.UDPAd
 	s.encBuf = wire.AppendEncode(s.encBuf[:0], pkt, payload)
 	s.Forwarded++
 	s.lastFwd[dstHost] = time.Now()
+	if extra > 0 {
+		// The encode buffer is reused on the next handle(); a delayed send
+		// needs its own copy of the datagram.
+		held := append([]byte(nil), s.encBuf...)
+		time.AfterFunc(extra, func() { s.conn.WriteToUDP(held, dst) })
+		return
+	}
 	s.conn.WriteToUDP(s.encBuf, dst)
 }
 

@@ -34,10 +34,18 @@ type Config struct {
 	BeaconInterval time.Duration
 	// LossRate drops packets at the switch (loopback never loses, so the
 	// reliability machinery is exercised by injection).
+	//
+	// Deprecated: use Impair with a netsim.Impairment{Loss: rate}. When
+	// both are set, the nonzero LossRate takes precedence over the
+	// impairment's uniform Loss (its other components still apply).
 	LossRate float64
 	// Seed seeds the switch's loss-injection RNG so lossy runs are
 	// reproducible; zero draws from the wall clock.
 	Seed int64
+	// Impair, when non-nil, degrades data-plane packets at the switch with
+	// the composable model (uniform loss, burst loss, jitter, extra delay).
+	// One switch serves the fabric, so one Impairment covers every path.
+	Impair *netsim.Impairment
 	// Endpoint overrides lib1pipe configuration.
 	Endpoint *core.Config
 	// RegisterTimeout bounds Start's wait for all hosts to register at the

@@ -1,0 +1,236 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"onepipe/internal/sim"
+)
+
+// drain pulls up to n intents.
+func drain(s Source, n int) []Intent {
+	var out []Intent
+	for len(out) < n {
+		it, ok := s.Next()
+		if !ok {
+			break
+		}
+		out = append(out, it)
+	}
+	return out
+}
+
+// TestRoundRobinSchedule pins the broadcast source against the historical
+// ticker loop: first fire at phase+gap, destinations cycling and skipping
+// self, time-nondecreasing across the stream.
+func TestRoundRobinSchedule(t *testing.T) {
+	const n, gap = 4, sim.Time(1000)
+	its := drain(NewRoundRobin(n, gap, 64, false), 4*n)
+	// Process 0's first three sends: to 1, 2, 3 at gap, 2*gap, 3*gap.
+	want := []struct {
+		src, dst int
+		at       sim.Time
+	}{
+		{0, 1, 1000}, {1, 2, 1250}, {2, 3, 1500}, {3, 0, 1750},
+		{0, 2, 2000}, {1, 3, 2250}, {2, 0, 2500}, {3, 1, 2750},
+		{0, 3, 3000}, {1, 0, 3250}, {2, 1, 3500}, {3, 2, 3750},
+		{0, 1, 4000}, {1, 2, 4250}, {2, 3, 4500}, {3, 0, 4750},
+	}
+	for i, w := range want {
+		it := its[i]
+		if it.Src != w.src || it.Dsts[0] != w.dst || it.At != w.at {
+			t.Fatalf("intent %d: got src=%d dst=%d at=%d, want src=%d dst=%d at=%d",
+				i, it.Src, it.Dsts[0], it.At, w.src, w.dst, w.at)
+		}
+	}
+}
+
+// TestSyntheticDeterminism: equal seeds emit identical streams; the stream
+// is time-nondecreasing, self-sends never happen, and the diurnal ramp
+// actually modulates density.
+func TestSyntheticDeterminism(t *testing.T) {
+	mk := func() *Synthetic {
+		return NewSynthetic(SyntheticConfig{
+			Procs: 16, MeanGap: 500, Fanout: 2, Size: ETCSize,
+			ZipfTheta: 0.99, ReliableFrac: 0.3, Seed: 7,
+			Rate: Diurnal(200*sim.Microsecond, 0.5, 2),
+			Stop: 400 * sim.Microsecond,
+		})
+	}
+	a, b := drain(mk(), 100000), drain(mk(), 100000)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("stream lengths differ or empty: %d vs %d", len(a), len(b))
+	}
+	var last sim.Time
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Src != b[i].Src || a[i].Size != b[i].Size ||
+			len(a[i].Dsts) != len(b[i].Dsts) || a[i].Opts != b[i].Opts {
+			t.Fatalf("intent %d differs between equal-seed streams", i)
+		}
+		if a[i].At < last {
+			t.Fatalf("intent %d: time went backwards", i)
+		}
+		last = a[i].At
+		for _, d := range a[i].Dsts {
+			if d == a[i].Src {
+				t.Fatalf("intent %d: self-send", i)
+			}
+		}
+	}
+}
+
+// TestZipfSkewsDestinations: with heavy skew the hottest destination must
+// receive far more than its uniform share.
+func TestZipfSkewsDestinations(t *testing.T) {
+	s := NewSynthetic(SyntheticConfig{Procs: 32, MeanGap: 100, ZipfTheta: 0.99, Seed: 3})
+	counts := make([]int, 32)
+	for i := 0; i < 20000; i++ {
+		it, _ := s.Next()
+		counts[it.Dsts[0]]++
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*20000/32 {
+		t.Errorf("hottest destination got %d of 20000; want heavy skew (>3x uniform share)", max)
+	}
+}
+
+// TestIncastBursts: every period exactly Fanin senders hit the victim at
+// one instant, none of them the victim itself.
+func TestIncastBursts(t *testing.T) {
+	in := NewIncast(16, 5, 8, 50*sim.Microsecond, 128, 0, 300*sim.Microsecond)
+	byAt := map[sim.Time]int{}
+	for {
+		it, ok := in.Next()
+		if !ok {
+			break
+		}
+		if it.Dsts[0] != 5 {
+			t.Fatalf("intent to %d, want victim 5", it.Dsts[0])
+		}
+		if it.Src == 5 {
+			t.Fatal("victim sends to itself")
+		}
+		byAt[it.At]++
+	}
+	if len(byAt) != 5 {
+		t.Fatalf("got %d bursts, want 5", len(byAt))
+	}
+	for at, n := range byAt {
+		if n != 8 {
+			t.Errorf("burst at %d has %d senders, want 8", at, n)
+		}
+	}
+}
+
+// TestMergeOrders: merged streams come out time-sorted with deterministic
+// tie-breaks.
+func TestMergeOrders(t *testing.T) {
+	a := NewIncast(8, 0, 2, 1000, 64, 0, 10000)
+	b := NewIncast(8, 1, 3, 700, 64, 0, 10000)
+	m := Merge(a, b)
+	var last sim.Time
+	n := 0
+	for {
+		it, ok := m.Next()
+		if !ok {
+			break
+		}
+		if it.At < last {
+			t.Fatalf("merge emitted time %d after %d", it.At, last)
+		}
+		last = it.At
+		n++
+	}
+	if n != 9*2+14*3 {
+		t.Errorf("merged %d intents, want %d", n, 9*2+14*3)
+	}
+}
+
+// TestTraceRoundTrip is the record→replay determinism test: a composite
+// source recorded to the text format and replayed must yield the identical
+// intent stream, field for field.
+func TestTraceRoundTrip(t *testing.T) {
+	mk := func() Source {
+		return Merge(
+			NewSynthetic(SyntheticConfig{
+				Procs: 12, MeanGap: 800, Fanout: 2, Size: ETCSize,
+				ZipfTheta: 0.99, ReliableFrac: 0.4, Seed: 11,
+				Stop: 200 * sim.Microsecond,
+			}),
+			NewIncast(12, 3, 6, 40*sim.Microsecond, 256, 0, 200*sim.Microsecond),
+		)
+	}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	orig := drain(Record(mk(), tw), 1<<30)
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != len(orig) {
+		t.Fatalf("recorded %d, drained %d", tw.Count(), len(orig))
+	}
+	rp, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed := drain(rp, 1<<30)
+	if len(replayed) != len(orig) {
+		t.Fatalf("replayed %d intents, want %d", len(replayed), len(orig))
+	}
+	for i := range orig {
+		a, b := orig[i], replayed[i]
+		if a.At != b.At || a.Src != b.Src || a.Size != b.Size || a.Key != b.Key || a.Opts != b.Opts {
+			t.Fatalf("intent %d differs after round trip: %+v vs %+v", i, a, b)
+		}
+		if len(a.Dsts) != len(b.Dsts) {
+			t.Fatalf("intent %d: dst count differs", i)
+		}
+		for j := range a.Dsts {
+			if a.Dsts[j] != b.Dsts[j] {
+				t.Fatalf("intent %d: dst %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestTraceParseErrors: malformed traces are rejected with line context.
+func TestTraceParseErrors(t *testing.T) {
+	cases := []string{
+		"1000 0 1 64",                              // missing header
+		TraceHeader + "\nxx 0 1 64",                // bad time
+		TraceHeader + "\n1000 0 1 64 frob",         // unknown option
+		TraceHeader + "\n2000 0 1 64\n1000 0 1 64", // time goes backwards
+	}
+	for i, c := range cases {
+		if _, err := ParseTrace(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: parse accepted malformed trace", i)
+		}
+	}
+}
+
+// TestTraceOptionsRoundTrip covers every optional field in one line.
+func TestTraceOptionsRoundTrip(t *testing.T) {
+	in := Intent{At: 12345, Src: 2, Dsts: []int{4, 7, 9}, Size: 4096, Key: 99,
+		Opts: SendOpts{Reliable: true, ConflictKey: 17, Unbatched: true}}
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	if err := tw.Write(in); err != nil {
+		t.Fatal(err)
+	}
+	tw.Flush()
+	its, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := its[0]
+	if got.At != in.At || got.Src != in.Src || got.Key != in.Key || got.Opts != in.Opts ||
+		len(got.Dsts) != 3 || got.Dsts[2] != 9 {
+		t.Fatalf("round trip mangled intent: %+v vs %+v", got, in)
+	}
+}

@@ -1,0 +1,220 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"onepipe/internal/sim"
+)
+
+// The trace format is one line per intent:
+//
+//	<t_ns> <src> <dst[,dst...]> <size> [key=K] [rel] [conflict=N] [nobatch]
+//
+// preceded by a "# onepipe-trace v1" header; later '#' lines and blank
+// lines are ignored. Times are absolute nanoseconds, nondecreasing. The
+// format round-trips every Intent field, so Record followed by Replay
+// reproduces any source exactly — the workload-portability contract that
+// lets one trace drive netsim, udpnet, and external tooling identically.
+
+// TraceHeader is the magic first line of a trace file.
+const TraceHeader = "# onepipe-trace v1"
+
+// TraceWriter streams intents to a trace file.
+type TraceWriter struct {
+	w   *bufio.Writer
+	n   int
+	err error
+}
+
+// NewTraceWriter writes the header and returns the writer.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	tw := &TraceWriter{w: bufio.NewWriter(w)}
+	_, tw.err = fmt.Fprintln(tw.w, TraceHeader)
+	return tw
+}
+
+// Write appends one intent.
+func (tw *TraceWriter) Write(it Intent) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d %d ", int64(it.At), it.Src)
+	for i, d := range it.Dsts {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(d))
+	}
+	fmt.Fprintf(&sb, " %d", it.Size)
+	if it.Key != 0 {
+		fmt.Fprintf(&sb, " key=%d", it.Key)
+	}
+	if it.Opts.Reliable {
+		sb.WriteString(" rel")
+	}
+	if it.Opts.ConflictKey != 0 {
+		fmt.Fprintf(&sb, " conflict=%d", it.Opts.ConflictKey)
+	}
+	if it.Opts.Unbatched {
+		sb.WriteString(" nobatch")
+	}
+	_, tw.err = fmt.Fprintln(tw.w, sb.String())
+	tw.n++
+	return tw.err
+}
+
+// Count returns the number of intents written.
+func (tw *TraceWriter) Count() int { return tw.n }
+
+// Flush flushes the underlying buffer.
+func (tw *TraceWriter) Flush() error {
+	if tw.err != nil {
+		return tw.err
+	}
+	return tw.w.Flush()
+}
+
+// ParseTrace reads a whole trace into memory.
+func ParseTrace(r io.Reader) ([]Intent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	var out []Intent
+	lineno := 0
+	seenHeader := false
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if !seenHeader {
+				if line != TraceHeader {
+					return nil, fmt.Errorf("trace line 1: bad header %q", line)
+				}
+				seenHeader = true
+			}
+			continue
+		}
+		if !seenHeader {
+			return nil, fmt.Errorf("trace line %d: missing %q header", lineno, TraceHeader)
+		}
+		it, err := parseIntent(line)
+		if err != nil {
+			return nil, fmt.Errorf("trace line %d: %v", lineno, err)
+		}
+		if len(out) > 0 && it.At < out[len(out)-1].At {
+			return nil, fmt.Errorf("trace line %d: time goes backwards (%d < %d)",
+				lineno, it.At, out[len(out)-1].At)
+		}
+		out = append(out, it)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseIntent(line string) (Intent, error) {
+	f := strings.Fields(line)
+	if len(f) < 4 {
+		return Intent{}, fmt.Errorf("want at least 4 fields, got %d", len(f))
+	}
+	t, err := strconv.ParseInt(f[0], 10, 64)
+	if err != nil {
+		return Intent{}, fmt.Errorf("bad time %q", f[0])
+	}
+	src, err := strconv.Atoi(f[1])
+	if err != nil {
+		return Intent{}, fmt.Errorf("bad src %q", f[1])
+	}
+	var dsts []int
+	for _, s := range strings.Split(f[2], ",") {
+		d, err := strconv.Atoi(s)
+		if err != nil {
+			return Intent{}, fmt.Errorf("bad dst %q", s)
+		}
+		dsts = append(dsts, d)
+	}
+	size, err := strconv.Atoi(f[3])
+	if err != nil {
+		return Intent{}, fmt.Errorf("bad size %q", f[3])
+	}
+	it := Intent{At: sim.Time(t), Src: src, Dsts: dsts, Size: size}
+	for _, opt := range f[4:] {
+		switch {
+		case opt == "rel":
+			it.Opts.Reliable = true
+		case opt == "nobatch":
+			it.Opts.Unbatched = true
+		case strings.HasPrefix(opt, "key="):
+			k, err := strconv.ParseUint(opt[4:], 10, 64)
+			if err != nil {
+				return Intent{}, fmt.Errorf("bad key %q", opt)
+			}
+			it.Key = k
+		case strings.HasPrefix(opt, "conflict="):
+			c, err := strconv.ParseUint(opt[9:], 10, 32)
+			if err != nil {
+				return Intent{}, fmt.Errorf("bad conflict %q", opt)
+			}
+			it.Opts.ConflictKey = uint32(c)
+		default:
+			return Intent{}, fmt.Errorf("unknown option %q", opt)
+		}
+	}
+	return it, nil
+}
+
+// Replay turns a parsed trace back into a Source.
+type Replay struct {
+	its []Intent
+	i   int
+}
+
+// NewReplay builds a source replaying its verbatim.
+func NewReplay(its []Intent) *Replay { return &Replay{its: its} }
+
+// ReadTrace parses r and returns a replay source.
+func ReadTrace(r io.Reader) (*Replay, error) {
+	its, err := ParseTrace(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewReplay(its), nil
+}
+
+// Next replays the next recorded intent.
+func (r *Replay) Next() (Intent, bool) {
+	if r.i >= len(r.its) {
+		return Intent{}, false
+	}
+	it := r.its[r.i]
+	r.i++
+	return it, true
+}
+
+// Recorder tees a source into a TraceWriter: every intent pulled through it
+// is also written to the trace. Close the loop with Replay to prove the
+// round trip (record→replay determinism).
+type Recorder struct {
+	src Source
+	tw  *TraceWriter
+}
+
+// Record wraps src so its stream is dumped to tw as it is consumed.
+func Record(src Source, tw *TraceWriter) *Recorder { return &Recorder{src: src, tw: tw} }
+
+// Next forwards from the wrapped source, recording.
+func (r *Recorder) Next() (Intent, bool) {
+	it, ok := r.src.Next()
+	if ok {
+		r.tw.Write(it)
+	}
+	return it, ok
+}

@@ -1,6 +1,12 @@
-// Package workload provides the key and value-size generators used by the
-// application benchmarks: uniform keys, YCSB-style Zipfian keys with hot
-// spots, and value sizes drawn from Facebook's ETC distribution (§7.3.1).
+// Package workload generates traffic. The Source interface (source.go) is
+// the unified abstraction: a deterministic, seedable stream of timestamped
+// send intents, with round-robin broadcast, skewed/heavy-tailed synthetic,
+// incast-burst and trace-replay implementations plus a recorder dumping any
+// run back to the text trace format (trace.go, docs/workloads.md). The
+// key and value-size generators below (uniform keys, YCSB-style Zipfian
+// keys with hot spots, Facebook ETC value sizes, §7.3.1) feed both the
+// transaction sources (TxnSource) and the Source implementations as
+// adapters.
 package workload
 
 import (

@@ -35,8 +35,15 @@ type LiveConfig struct {
 	// BeaconInterval is T_beacon in wall-clock time (default 1 ms —
 	// coarse enough for OS timers).
 	BeaconInterval time.Duration
-	// LossRate (UDP fabric only) injects loss at the software switch.
+	// LossRate injects loss at the software switch.
+	//
+	// Deprecated: use Impair with an Impairment{Loss: rate}. A nonzero
+	// LossRate takes precedence over the impairment's uniform Loss.
 	LossRate float64
+	// Impair degrades data-plane packets at the software switch with the
+	// composable model (loss, burst loss, jitter, extra delay). Both live
+	// fabrics honor it.
+	Impair *Impairment
 	// Seed makes injected loss reproducible; zero draws from the wall
 	// clock.
 	Seed int64
@@ -96,6 +103,7 @@ func NewLiveCluster(cfg LiveConfig) *Live {
 	}
 	lcfg.LossRate = cfg.LossRate
 	lcfg.Seed = cfg.Seed
+	lcfg.Impair = cfg.Impair
 	lcfg.Endpoint = cfg.endpointOverride()
 	n := livenet.New(lcfg)
 	return &Live{
@@ -137,6 +145,7 @@ func NewUDPCluster(cfg LiveConfig) (*Live, error) {
 	}
 	ucfg.LossRate = cfg.LossRate
 	ucfg.Seed = cfg.Seed
+	ucfg.Impair = cfg.Impair
 	ucfg.Endpoint = cfg.endpointOverride()
 	c, err := udpnet.Start(ucfg)
 	if err != nil {

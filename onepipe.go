@@ -85,6 +85,15 @@ const (
 	ModeHostDelegate = netsim.ModeHostDelegate
 )
 
+// Impairment describes composable link degradations — uniform loss,
+// jitter, Gilbert-Elliott burst loss, duty-cycle outages, reordering, RTT
+// classes. See netsim.Impairment for the determinism contract.
+type Impairment = netsim.Impairment
+
+// ImpairmentProfile attaches Impairments to the simulated fabric: per
+// link, per link class, or fabric-wide (most-specific-wins).
+type ImpairmentProfile = netsim.Profile
+
 // ErrSendBufferFull is returned by sends when the host's wait queue is at
 // capacity.
 var ErrSendBufferFull = core.ErrSendBufferFull
@@ -176,7 +185,14 @@ type Config struct {
 	// BeaconInterval is T_beacon (default 3 us).
 	BeaconInterval Timestamp
 	// LossRate is the per-link packet corruption probability.
+	//
+	// Deprecated: use Impair with netsim.UniformLoss(rate). A nonzero
+	// LossRate takes precedence over a profile's uniform Loss component.
 	LossRate float64
+	// Impair degrades simulated links with composable impairment profiles
+	// (loss, jitter, burst loss, RTT classes) — the structured replacement
+	// for the LossRate knob.
+	Impair *ImpairmentProfile
 	// Seed makes the run reproducible.
 	Seed int64
 	// WithController deploys the Raft-replicated failure controller and
@@ -242,6 +258,7 @@ func NewCluster(cfg Config) *Cluster {
 	} else {
 		ncfg.Mode = cfg.Mode
 		ncfg.LossRate = cfg.LossRate
+		ncfg.Impair = cfg.Impair
 		if cfg.BeaconInterval > 0 {
 			ncfg.BeaconInterval = cfg.BeaconInterval
 		}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-json bench-gate slo slo-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict scale
+.PHONY: all build test race bench bench-json bench-gate slo slo-gate serve serve-gate results full-results fuzz examples vet chaos chaos-nightly elastic conflict scale
 
 all: vet test
 
@@ -44,6 +44,19 @@ slo:
 # committed BENCH_core.json.
 slo-gate:
 	$(GO) run ./cmd/onepipe-bench -slo-gate BENCH_core.json
+
+# The serving tier: closed-loop clients driving KV / txn / SMR services
+# on the Fabric API, plus the elastic Join/Drain timeline
+# (docs/serving.md).
+serve:
+	$(GO) run ./cmd/onepipe-bench -fig serve
+
+# CI's serving smoke: re-run the quick serve figure and fail on
+# delivered-count drift (the tier is deterministic), a >25% p99
+# regression against the committed BENCH_core.json, or a failed elastic
+# recovery.
+serve-gate:
+	$(GO) run ./cmd/onepipe-bench -serve-gate BENCH_core.json
 
 # Regenerate every figure/table at quick scale into results_quick.txt.
 results:

@@ -1,9 +1,10 @@
-package onepipe
+package onepipe_test
 
 import (
 	"strconv"
 	"testing"
 
+	"onepipe"
 	"onepipe/internal/experiments"
 	"onepipe/internal/sim"
 )
@@ -80,22 +81,22 @@ func BenchmarkMessageRate(b *testing.B) {
 		b.Run(strconv.Itoa(procs), func(b *testing.B) {
 			delivered := 0
 			for i := 0; i < b.N; i++ {
-				cl := NewCluster(Config{
-					Topology:     Testbed(),
+				cl := onepipe.NewCluster(onepipe.Config{
+					Topology:     onepipe.Testbed(),
 					ProcsPerHost: (procs + 31) / 32,
 					Seed:         int64(i + 1),
 				})
 				for p := 0; p < procs; p++ {
-					cl.Process(p).OnDeliver(func(Delivery) { delivered++ })
+					cl.Process(p).OnDeliver(func(onepipe.Delivery) { delivered++ })
 				}
 				for p := 0; p < procs; p++ {
 					p := p
 					for k := 0; k < 50; k++ {
-						dst := ProcID((p + k + 1) % procs)
-						cl.Process(p).UnreliableSend([]Message{{Dst: dst, Size: 64}})
+						dst := onepipe.ProcID((p + k + 1) % procs)
+						cl.Process(p).Send([]onepipe.Message{{Dst: dst, Size: 64}})
 					}
 				}
-				cl.Run(500 * Microsecond)
+				cl.Run(500 * onepipe.Microsecond)
 			}
 			b.ReportMetric(float64(delivered)/float64(b.N), "msgs/op")
 		})

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -84,7 +85,15 @@ type benchReport struct {
 	// SLO carries the -fig slo percentile rows (batched / unbatched /
 	// conflict-aware under the reference trace + impairment profile) at
 	// quick scale. The slo gate compares fresh p99s against these.
-	SLO             []experiments.SLORow   `json:"slo,omitempty"`
+	SLO []experiments.SLORow `json:"slo,omitempty"`
+	// Serve carries the -fig serve rows at quick scale: the closed-loop
+	// KV client sweep, the tpcc-style mix, the fabric-SMR vs Raft
+	// head-to-head, and the elastic Join/Drain timeline. The serve gate
+	// compares fresh delivered counts (exact) and p99s against these.
+	Serve []experiments.ServeRow `json:"serve,omitempty"`
+	// ServeNotes records the elastic segment's self-asserted verdict
+	// (RECOVERED/EXCEEDED) from the run that produced Serve.
+	ServeNotes      []string               `json:"serve_notes,omitempty"`
 	QuickSuiteWallS float64                `json:"quick_suite_wall_s,omitempty"`
 	Benchmarks      map[string]benchResult `json:"benchmarks"`
 	Baseline        *benchBaseline         `json:"baseline,omitempty"`
@@ -344,6 +353,7 @@ func runBenchJSON(outPath string, withSuite bool) error {
 	rep.SendOccupancy, rep.RecvOccupancy = &so, &ro
 	rep.E2EUnbatchedMsgsPerSec, _, _ = benchE2E(false)
 	rep.SLO = experiments.RunSLO(experiments.Quick())
+	rep.Serve, rep.ServeNotes = experiments.RunServe(experiments.Quick())
 
 	if withSuite {
 		start := time.Now()
@@ -397,6 +407,13 @@ func runBenchJSON(outPath string, withSuite bool) error {
 		fmt.Printf("slo %-14s %6d delivered  p50 %.2fus  p99 %.2fus  p999 %.2fus\n",
 			r.Config, r.Delivered, r.P50, r.P99, r.P999)
 	}
+	for _, r := range rep.Serve {
+		fmt.Printf("serve %-14s %7d clients %7d delivered  p50 %.2fus  p99 %.2fus\n",
+			r.Segment, r.Clients, r.Delivered, r.P50, r.P99)
+	}
+	for _, n := range rep.ServeNotes {
+		fmt.Println("serve note: " + n)
+	}
 	if rep.QuickSuiteWallS > 0 {
 		fmt.Printf("quick suite %8.1f s wall\n", rep.QuickSuiteWallS)
 	}
@@ -434,6 +451,68 @@ func runBenchGate(committedPath string) error {
 	if ratio < 0.90 {
 		return fmt.Errorf("bench gate: engine events/sec regressed %.0f%% (> 10%% budget)",
 			(1-ratio)*100)
+	}
+	return nil
+}
+
+// runServeGate re-runs the quick-scale serving-tier figure and fails if any
+// segment's delivered count drifted (the closed loop is deterministic, so a
+// count change means a behavior change), if any p99 regressed more than 25%
+// against the committed report, or if the elastic Join/Drain segment did not
+// recover its SLO (the fresh run's notes carry FAILED/EXCEEDED verdicts).
+func runServeGate(committedPath string) error {
+	raw, err := os.ReadFile(committedPath)
+	if err != nil {
+		return fmt.Errorf("serve gate: %w", err)
+	}
+	var committed benchReport
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		return fmt.Errorf("serve gate: parse %s: %w", committedPath, err)
+	}
+	if len(committed.Serve) == 0 {
+		return fmt.Errorf("serve gate: %s has no serve rows; refresh with -bench-json", committedPath)
+	}
+	fresh, notes := experiments.RunServe(experiments.Quick())
+	// The kv sweep repeats one segment name at several client counts, so
+	// rows are keyed by (segment, clients), not segment alone.
+	type segKey struct {
+		segment string
+		clients int
+	}
+	bySeg := make(map[segKey]experiments.ServeRow, len(fresh))
+	for _, r := range fresh {
+		bySeg[segKey{r.Segment, r.Clients}] = r
+	}
+	var failures []string
+	for _, want := range committed.Serve {
+		got, ok := bySeg[segKey{want.Segment, want.Clients}]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("segment %s (%d clients) missing from fresh run", want.Segment, want.Clients))
+			continue
+		}
+		fmt.Printf("serve gate: %-14s %7d clients  delivered %d (committed %d)  p99 %.2fus (committed %.2fus)\n",
+			got.Segment, got.Clients, got.Delivered, want.Delivered, got.P99, want.P99)
+		if got.Delivered != want.Delivered {
+			failures = append(failures, fmt.Sprintf(
+				"%s/%d: delivered %d != committed %d (deterministic tier; behavior changed — refresh BENCH_core.json if intended)",
+				want.Segment, want.Clients, got.Delivered, want.Delivered))
+		}
+		if want.P99 > 0 && got.P99 > want.P99*1.25 {
+			failures = append(failures, fmt.Sprintf("%s/%d: p99 %.2fus regressed >25%% vs committed %.2fus",
+				want.Segment, want.Clients, got.P99, want.P99))
+		}
+	}
+	for _, n := range notes {
+		fmt.Println("serve gate: " + n)
+		if strings.Contains(n, "FAILED") || strings.Contains(n, "EXCEEDED") {
+			failures = append(failures, "elastic verdict: "+n)
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "serve gate: "+f)
+		}
+		return fmt.Errorf("serve gate: %d failure(s)", len(failures))
 	}
 	return nil
 }

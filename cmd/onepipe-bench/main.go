@@ -9,6 +9,7 @@
 //	onepipe-bench -bench-json [-bench-suite] [-bench-out BENCH_core.json]
 //	onepipe-bench -bench-gate BENCH_core.json
 //	onepipe-bench -slo-gate BENCH_core.json
+//	onepipe-bench -serve-gate BENCH_core.json
 //
 // -full runs the paper's complete sweeps (up to 512 processes; minutes of
 // wall time); the default quick scale preserves every figure's shape with
@@ -48,6 +49,7 @@ func realMain() int {
 	benchSuite := flag.Bool("bench-suite", false, "with -bench-json: also time the quick figure suite (slow)")
 	benchGate := flag.String("bench-gate", "", "compare fresh engine events/sec against this committed report; fail on >10% regression")
 	sloGate := flag.String("slo-gate", "", "re-run the quick SLO race against this committed report; fail on delivery drift or >25% p99 regression")
+	serveGate := flag.String("serve-gate", "", "re-run the quick serving-tier figure against this committed report; fail on delivered-count drift, >25% p99 regression, or a failed elastic recovery")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -106,6 +108,11 @@ func realMain() int {
 		}
 	case *sloGate != "":
 		if err := runSLOGate(*sloGate); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	case *serveGate != "":
+		if err := runServeGate(*serveGate); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}

@@ -323,14 +323,9 @@ func runWith(p Plan, tap func(*netsim.Packet)) *Result {
 		for _, m := range msgs {
 			rec.Dsts = append(rec.Dsts, m.Dst)
 		}
-		var err error
-		if p.ConflictRate > 0 {
-			err = proc.SendOpts(msgs, core.SendOptions{Reliable: reliable, ConflictKey: ckey})
-		} else if reliable {
-			err = proc.SendReliable(msgs)
-		} else {
-			err = proc.Send(msgs)
-		}
+		// ConflictKey 0 means "no conflict group", so the unified options
+		// path is behavior-identical to the old Send/SendReliable split.
+		err := proc.SendOpts(msgs, core.SendOptions{Reliable: reliable, ConflictKey: ckey})
 		if err != nil {
 			rec.Refused = true
 		} else {

@@ -9,7 +9,19 @@ import (
 	"onepipe/internal/sim"
 	"onepipe/internal/stats"
 	"onepipe/internal/topology"
+	"onepipe/internal/workload"
 )
+
+// incastStreams is the ablations' fan-in load as a Source: senders 0..n-1
+// each stream size-byte messages to victim every gap, all in phase (the
+// worst case for arrival order).
+func incastStreams(n, victim int, gap sim.Time, size int) workload.Source {
+	srcs := make([]workload.Source, n)
+	for h := 0; h < n; h++ {
+		srcs[h] = workload.NewFixedStream(h, []int{victim}, gap, 0, size, workload.SendOpts{})
+	}
+	return workload.Merge(srcs...)
+}
 
 // Hazards regenerates the §2.2.1 motivation as a table: write-after-write
 // and IRIW ordering-hazard rates over an unordered transport versus 1Pipe,
@@ -66,34 +78,18 @@ func AblBarrier(sc Scale) *Table {
 				lastTS = p.MsgTS
 			}
 		})
-		for h := 0; h < senders; h++ {
-			h := h
-			sim.NewTicker(netN.Eng, 300*sim.Nanosecond, 0, func() {
-				ts := netN.Clocks[h].Now()
-				netN.SendFromHost(h, &netsim.Packet{Kind: netsim.KindData, Src: netsim.ProcID(h),
-					Dst: 31, MsgTS: ts, BarrierBE: ts, Size: 1024})
-			})
-		}
+		driveRaw(netN, incastStreams(senders, 31, 300*sim.Nanosecond, 1024), 0)
 		netN.Eng.RunFor(1 * sim.Millisecond)
 		naive := 100 * float64(inOrder) / float64(total)
 
 		// Barrier-based: the full stack delivers everything, in order.
 		cl := deploy(32, nil, nil)
-		sent, delivered := 0, 0
+		delivered := 0
 		cl.Procs[31].OnDeliver = func(core.Delivery) { delivered++ }
-		for h := 0; h < senders; h++ {
-			h := h
-			sim.NewTicker(cl.Net.Eng, 300*sim.Nanosecond, 0, func() {
-				if cl.Net.Eng.Now() > 500*sim.Microsecond {
-					return
-				}
-				if cl.Procs[h].Send([]core.Message{{Dst: 31, Size: 1024}}) == nil {
-					sent++
-				}
-			})
-		}
+		load := workload.Limit(incastStreams(senders, 31, 300*sim.Nanosecond, 1024), 500*sim.Microsecond)
+		p := drivePump(cl, load, 0, false)
 		cl.Run(2 * sim.Millisecond)
-		barrier := 100 * float64(delivered) / float64(sent)
+		barrier := 100 * float64(delivered) / float64(p.Sent)
 		t.AddRow(f1(float64(senders)), f1(barrier), f1(naive))
 	}
 	t.Notes = append(t.Notes,
@@ -226,14 +222,7 @@ func AblECMP(sc Scale) *Table {
 				lastTS = p.MsgTS
 			}
 		})
-		for h := 0; h < 8; h++ {
-			h := h
-			sim.NewTicker(netN.Eng, 250*sim.Nanosecond, 0, func() {
-				ts := netN.Clocks[h].Now()
-				netN.SendFromHost(h, &netsim.Packet{Kind: netsim.KindData, Src: netsim.ProcID(h),
-					Dst: 31, MsgTS: ts, BarrierBE: ts, Size: 1024})
-			})
-		}
+		driveRaw(netN, incastStreams(8, 31, 250*sim.Nanosecond, 1024), 0)
 		netN.Eng.RunFor(1 * sim.Millisecond)
 
 		// Ordered delivery latency on the full stack.

@@ -91,7 +91,7 @@ func Elastic(sc Scale) *Table {
 		proc := cl.Procs[pi]
 		dst := netsim.ProcID(rng.Intn(len(cl.Procs)))
 		if dst != proc.ID {
-			proc.SendReliable([]core.Message{{Dst: dst, Data: int64(pi), Size: 128}})
+			proc.SendOpts([]core.Message{{Dst: dst, Data: int64(pi), Size: 128}}, core.SendOptions{Reliable: true})
 		}
 		eng.After(interval/2+sim.Time(rng.Int63n(int64(interval))), func() { sender(pi) })
 	}

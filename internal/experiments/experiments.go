@@ -126,6 +126,7 @@ func Registry() []Runner {
 		{"scale", "Sharded-engine scaling: 1024-host fabric, parallel lookahead sweep", FabricScale},
 		{"conflict", "Ablation: conflict-aware relaxed order vs unified, by conflict rate", Conflict},
 		{"slo", "SLO race: p50/p99/p999 under one trace + impairment profile", SLO},
+		{"serve", "Serving tier: closed-loop clients on the Fabric API (KV/txn/SMR/elastic)", Serve},
 	}
 }
 

@@ -2,8 +2,8 @@ package experiments
 
 import (
 	"onepipe/internal/core"
-	"onepipe/internal/netsim"
 	"onepipe/internal/sim"
+	"onepipe/internal/workload"
 )
 
 // Fig11 regenerates the receiver reorder-overhead experiment: delivery
@@ -34,18 +34,7 @@ func Fig11(sc Scale) *Table {
 		}
 		const offered = 4e6
 		gap := sim.Time(1e9 / offered)
-		for pi := range cl.Procs {
-			pi := pi
-			k := 0
-			sim.NewTicker(eng, gap, sim.Time(pi)*37*sim.Nanosecond, func() {
-				k++
-				dst := netsim.ProcID((pi + k) % n)
-				if int(dst) == pi {
-					dst = netsim.ProcID((pi + 1) % n)
-				}
-				cl.Procs[pi].Send([]core.Message{{Dst: dst, Size: 1024}})
-			})
-		}
+		drivePump(cl, workload.NewRoundRobin(n, gap, 1024, false), 0, false)
 		window := sc.Window + 2*hold
 		eng.RunFor(sc.Warmup + 2*hold)
 		measuring = true

@@ -5,6 +5,7 @@ import (
 	"onepipe/internal/netsim"
 	"onepipe/internal/sim"
 	"onepipe/internal/stats"
+	"onepipe/internal/workload"
 )
 
 // runQueueingProbe measures BE and reliable delivery latency while
@@ -22,17 +23,19 @@ func runQueueingProbe(sc Scale, n int, flowsPerHost int, oversub float64) (be, r
 	// (the paper's background load is TCP). Aggregate offered load is held
 	// near 40% of host bandwidth so the fabric queues without collapsing —
 	// the regime the paper's latency-inflation numbers come from.
+	var flows []workload.Source
 	for h := 0; h < nh; h++ {
 		for f := 0; f < flowsPerHost; f++ {
-			src := netsim.ProcID(h * cl.Net.Cfg.ProcsPerHost)
-			dstHost := (h + nh/2 + f) % nh
-			dst := netsim.ProcID(dstHost * cl.Net.Cfg.ProcsPerHost)
+			src := h * cl.Net.Cfg.ProcsPerHost
+			dst := ((h + nh/2 + f) % nh) * cl.Net.Cfg.ProcsPerHost
 			gap := sim.Time(800*flowsPerHost) * sim.Nanosecond
 			phase := sim.Time(h*131+f*37) * sim.Nanosecond
-			sim.NewTicker(eng, gap, phase, func() {
-				cl.Procs[src].Send([]core.Message{{Dst: dst, Size: 4096}})
-			})
+			flows = append(flows, workload.NewFixedStream(src, []int{dst}, gap, phase, 4096, workload.SendOpts{}))
 		}
+	}
+	if len(flows) > 0 {
+		// Unstamped: probes carry the send-time payload, background must not.
+		drivePump(cl, workload.Merge(flows...), 0, false)
 	}
 	for _, p := range cl.Procs {
 		p.OnDeliver = func(d core.Delivery) {
@@ -62,7 +65,7 @@ func runQueueingProbe(sc Scale, n int, flowsPerHost int, oversub float64) (be, r
 			if i%2 == 0 {
 				src.Send(m)
 			} else {
-				src.SendReliable(m)
+				src.SendOpts(m, core.SendOptions{Reliable: true})
 			}
 		})
 	}

@@ -50,7 +50,7 @@ func runLatencyProbe(sc Scale, n int, mode netsim.Mode, reliable, ordered bool, 
 			case !ordered:
 				src.SendRaw(dst, eng.Now(), 64)
 			case reliable:
-				src.SendReliable([]core.Message{{Dst: dst, Data: eng.Now(), Size: 64}})
+				src.SendOpts([]core.Message{{Dst: dst, Data: eng.Now(), Size: 64}}, core.SendOptions{Reliable: true})
 			default:
 				src.Send([]core.Message{{Dst: dst, Data: eng.Now(), Size: 64}})
 			}

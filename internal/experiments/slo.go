@@ -12,46 +12,6 @@ import (
 	"onepipe/internal/workload"
 )
 
-// driveSource pumps a workload.Source into a cluster: each intent becomes
-// one scattering from Procs[Src] carrying the send time as payload (the
-// latency convention every figure uses). Events are scheduled on the root
-// engine — the same shard the ticker loops this replaces lived on — so
-// lockstep-sharded runs reproduce the identical schedule. Intents at or
-// past stop (when nonzero) end the pump.
-func driveSource(cl *core.Cluster, src workload.Source, stop sim.Time) {
-	eng := cl.Net.Eng
-	n := len(cl.Procs)
-	var step func()
-	var cur workload.Intent
-	pull := func() bool {
-		it, ok := src.Next()
-		if !ok || (stop > 0 && it.At >= stop) {
-			return false
-		}
-		cur = it
-		at := it.At
-		if now := eng.Now(); at < now {
-			at = now
-		}
-		eng.At(at, step)
-		return true
-	}
-	step = func() {
-		msgs := make([]core.Message, 0, len(cur.Dsts))
-		for _, d := range cur.Dsts {
-			msgs = append(msgs, core.Message{Dst: netsim.ProcID(d % n), Data: eng.Now(), Size: cur.Size})
-		}
-		src := cl.Procs[cur.Src%n]
-		_ = src.SendOpts(msgs, core.SendOptions{
-			Reliable:    cur.Opts.Reliable,
-			NoBatch:     cur.Opts.Unbatched,
-			ConflictKey: cur.Opts.ConflictKey,
-		})
-		pull()
-	}
-	pull()
-}
-
 // SLORow is one raced config's percentile outcome under the reference
 // trace + impairment profile. Latencies are microseconds.
 type SLORow struct {

@@ -33,7 +33,7 @@ func runStages(sc Scale, n int, reliable bool) [obs.NumSpans]stats.Histogram {
 			}
 			msg := []core.Message{{Dst: dst, Data: struct{}{}, Size: 64}}
 			if reliable {
-				src.SendReliable(msg)
+				src.SendOpts(msg, core.SendOptions{Reliable: true})
 			} else {
 				src.Send(msg)
 			}

@@ -19,6 +19,7 @@ package kvstore
 
 import (
 	"math/rand"
+	"sort"
 
 	"onepipe/internal/core"
 	"onepipe/internal/netsim"
@@ -408,6 +409,37 @@ func (n *node) recover(t *txn) {
 		// FaRM / NonTX: abort and rerun from scratch.
 		n.retryLater(t)
 	}
+}
+
+// StateDigest folds every owner's written (owner, key, version) triples —
+// keys sorted, version-0 read-through entries skipped — into one FNV-1a
+// digest. The serving tier computes the identical framing, so a
+// degenerate-config serve run can be pinned byte-for-byte against this
+// legacy harness.
+func (st *Store) StateDigest() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	for i, nd := range st.nodes {
+		keys := make([]uint64, 0, len(nd.data))
+		for k, e := range nd.data {
+			if e.version > 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+		mix(uint64(i))
+		for _, k := range keys {
+			mix(k)
+			mix(nd.data[k].version)
+		}
+	}
+	return h
 }
 
 // opBucket groups a transaction's operations by owner, preserving

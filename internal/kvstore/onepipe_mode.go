@@ -21,12 +21,9 @@ func (n *node) issue1Pipe(t *txn) {
 		msgs = append(msgs, core.Message{Dst: b.owner, Data: kvReq{t: t, ops: b.ops}, Size: size})
 	}
 	t.pending = len(msgs)
-	var err error
-	if t.class == RO {
-		err = n.proc.Send(msgs)
-	} else {
-		err = n.proc.SendReliable(msgs)
-	}
+	// Read-only transactions ride best-effort scatterings; writes need the
+	// reliable plane's restricted failure atomicity.
+	err := n.proc.SendOpts(msgs, core.SendOptions{Reliable: t.class != RO})
 	if err != nil {
 		// Send buffer full: back off and retry.
 		n.retryLater(t)

@@ -495,11 +495,17 @@ func (n *Network) receive(l *linkState, pkt *Packet) {
 		// programmable chip every packet carries per-link-valid barriers
 		// (rewritten each hop). With switch-CPU or host-delegate processing
 		// the chip forwards data untouched, so data barriers are only valid
-		// on the first (host) link; registers advance from beacons and commit
-		// messages alone, matching §6.2.2. A drained link skips all of this:
-		// straggler arrivals must not re-admit it to aggregation, and its
-		// registers are pinned at DrainedRegister.
-		if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip {
+		// on the first (host) link — the host stamps every emission in
+		// software, and with beacon piggybacking a busy uplink's standalone
+		// beacons are suppressed in favor of exactly those stamps, so the
+		// ToR must honor them or a continuously-loaded host's floor never
+		// propagates and delivery stalls fabric-wide. Deeper links advance
+		// from beacons and commit messages alone, matching §6.2.2. A
+		// drained link skips all of this: straggler arrivals must not
+		// re-admit it to aggregation, and its registers are pinned at
+		// DrainedRegister.
+		if pkt.Kind == KindBeacon || pkt.Kind == KindCommit || n.Cfg.Mode == ModeChip ||
+			l.kind == topology.LinkHostUp {
 			if pkt.BarrierBE > l.regBE {
 				l.regBE = pkt.BarrierBE
 			}

@@ -234,7 +234,10 @@ func (cs *clientState) sendEntry(e Entry, size int) {
 	for _, r := range cs.g.replicas {
 		msgs = append(msgs, core.Message{Dst: r, Data: appendMsg{entry: e}, Size: size})
 	}
-	cs.proc.Send(msgs)
+	// Best-effort on purpose: §2.2.2's 1-RTT replication carries its own
+	// sequence numbers and client-driven retransmission, so the reliable
+	// plane's 2PC would only add latency.
+	cs.proc.SendOpts(msgs, core.SendOptions{})
 }
 
 func (cs *clientState) armTimer(op *appendOp) {

@@ -58,7 +58,7 @@ func (g *Group) Submit(src netsim.ProcID, cmd any, size int) error {
 	for _, r := range g.replicas {
 		msgs = append(msgs, core.Message{Dst: r, Data: cmd, Size: size})
 	}
-	return g.cl.Procs[src].SendReliable(msgs)
+	return g.cl.Procs[src].SendOpts(msgs, core.SendOptions{Reliable: true})
 }
 
 // ----- Replicated lock manager (mutual exclusion, §2.2.2) -----

@@ -119,7 +119,7 @@ func (n *node) issue1Pipe(t *txn) {
 		return
 	}
 	t.pending = len(msgs)
-	if err := n.proc.SendReliable(msgs); err != nil {
+	if err := n.proc.SendOpts(msgs, core.SendOptions{Reliable: true}); err != nil {
 		// A replica failed since generation: replica sets were already
 		// pruned by the failure callback; retry.
 		n.retryLater(t)

@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"math"
+
+	"onepipe/internal/sim"
+)
+
+// SplitMix64 advances a one-word PRNG state and returns the next 64-bit
+// output (Steele et al., "Fast Splittable Pseudorandom Number Generators").
+// One uint64 of state per stream is what makes million-session closed-loop
+// client pools affordable: a *rand.Rand costs ~5 KB each, a SplitMix64
+// session costs 8 bytes. Streams seeded with distinct values are
+// statistically independent for simulation purposes.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// SplitMixFloat returns a uniform float64 in [0,1) from a SplitMix64 state.
+func SplitMixFloat(state *uint64) float64 {
+	return float64(SplitMix64(state)>>11) / (1 << 53)
+}
+
+// ExpDraw returns an exponentially distributed duration with the given mean
+// from a SplitMix64 state — the think-time model for closed-loop clients.
+// The draw is clamped to [1ns, 20*mean] so a single tail sample cannot park
+// a session beyond the experiment window.
+func ExpDraw(state *uint64, mean sim.Time) sim.Time {
+	u := SplitMixFloat(state)
+	d := sim.Time(-float64(mean) * math.Log(1-u))
+	if d < 1 {
+		d = 1
+	}
+	if max := 20 * mean; d > max {
+		d = max
+	}
+	return d
+}

@@ -88,6 +88,37 @@ func (r *RoundRobin) Next() (Intent, bool) {
 		Opts: SendOpts{Reliable: r.rel}}, true
 }
 
+// --- Fixed periodic stream (background-load tickers as a Source) ---
+
+// FixedStream emits one fixed scattering every Gap, first at Phase+Gap —
+// exactly the schedule of a phase-staggered background-load ticker (a
+// ticker never fires at its arming instant), but as a Source so it can be
+// merged, limited, recorded, and replayed. Entirely rng-free.
+type FixedStream struct {
+	src   int
+	dsts  []int
+	gap   sim.Time
+	phase sim.Time
+	size  int
+	opts  SendOpts
+	k     int64
+}
+
+// NewFixedStream builds the periodic source: src scatters size bytes to
+// dsts every gap, offset by phase.
+func NewFixedStream(src int, dsts []int, gap, phase sim.Time, size int, opts SendOpts) *FixedStream {
+	return &FixedStream{src: src, dsts: append([]int(nil), dsts...), gap: gap,
+		phase: phase, size: size, opts: opts}
+}
+
+// Next emits the k-th tick at phase + k*gap (k >= 1); the stream is
+// unbounded — wrap it in Limit to stop it.
+func (f *FixedStream) Next() (Intent, bool) {
+	f.k++
+	return Intent{At: f.phase + sim.Time(f.k)*f.gap, Src: f.src,
+		Dsts: f.dsts, Size: f.size, Opts: f.opts}, true
+}
+
 // --- Synthetic aggregate stream ---
 
 // RateFn scales a Synthetic source's instantaneous rate at time t (1 =

@@ -70,8 +70,12 @@ func zeta(n uint64, theta float64) float64 {
 }
 
 // Next returns the next key; key 0 is the hottest.
-func (z *Zipf) Next() uint64 {
-	u := z.rng.Float64()
+func (z *Zipf) Next() uint64 { return z.FromU(z.rng.Float64()) }
+
+// FromU maps one uniform draw u in [0,1) to a Zipfian key — the inverse
+// transform behind Next, exposed so callers with their own (cheaper) PRNG
+// state can share one Zipf table across millions of sessions.
+func (z *Zipf) FromU(u float64) uint64 {
 	uz := u * z.zetan
 	if uz < 1 {
 		return 0
